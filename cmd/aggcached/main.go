@@ -1,0 +1,146 @@
+// Command aggcached runs the middle tier as a standalone server: an
+// aggregate aware chunk cache in front of a backend database, answering mdq
+// queries from TCP clients (see internal/mtier for the protocol).
+//
+// Usage:
+//
+//	aggcached -scale small -listen 127.0.0.1:7071                  # in-process backend
+//	aggcached -scale small -backend 127.0.0.1:7070 -preload        # against backendd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"aggcache/internal/apb"
+	"aggcache/internal/backend"
+	"aggcache/internal/bench"
+	"aggcache/internal/cache"
+	"aggcache/internal/chunk"
+	"aggcache/internal/core"
+	"aggcache/internal/data"
+	"aggcache/internal/mtier"
+	"aggcache/internal/sizer"
+)
+
+func main() {
+	var (
+		scaleFlag   = flag.String("scale", "small", "dataset scale: tiny|small|medium|full")
+		seedFlag    = flag.Int64("seed", 1, "generator seed (in-process backend)")
+		stratFlag   = flag.String("strategy", "VCMC", "lookup strategy: ESM|ESMC|VCM|VCMC|NoAgg")
+		cacheKBFlag = flag.Int64("cache-kb", 512, "cache size in KB")
+		backendFlag = flag.String("backend", "", "remote backend address (empty = in-process)")
+		listenFlag  = flag.String("listen", "127.0.0.1:7071", "listen address")
+		preloadFlag = flag.Bool("preload", false, "preload the best-fitting group-by before serving")
+		bypassFlag  = flag.Bool("cost-bypass", false, "enable the §5.2 cost-based cache/backend routing")
+		snapFlag    = flag.String("snapshot", "", "cache snapshot file: loaded at startup if present, written on shutdown")
+	)
+	flag.Parse()
+
+	scale, err := apb.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := apb.New(scale)
+	grid, err := chunk.NewGrid(cfg.Schema, cfg.ChunkCounts)
+	if err != nil {
+		fatal(err)
+	}
+
+	var be backend.Backend
+	rows := cfg.Rows
+	if *backendFlag != "" {
+		remote, err := backend.Dial(*backendFlag)
+		if err != nil {
+			fatal(err)
+		}
+		be = remote
+		fmt.Printf("aggcached: using remote backend %s\n", *backendFlag)
+	} else {
+		tab, err := data.Generate(cfg.Schema, data.Params{
+			Rows: cfg.Rows, Density: cfg.Density, TimeDim: cfg.TimeDim, Seed: *seedFlag,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rows = tab.Len()
+		engine, err := backend.NewEngine(grid, tab, backend.DefaultLatency)
+		if err != nil {
+			fatal(err)
+		}
+		be = engine
+	}
+	defer be.Close()
+
+	sz := sizer.NewEstimate(grid, int64(rows))
+	env := &bench.Env{Grid: grid, Sizer: sz}
+	strat, err := env.NewStrategy(bench.StrategyName(*stratFlag), 2_000_000)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := cache.New(*cacheKBFlag<<10, cache.NewTwoLevel())
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := core.New(grid, c, strat, be, sz, core.Options{CostBypass: *bypassFlag})
+	if err != nil {
+		fatal(err)
+	}
+	if *snapFlag != "" {
+		if f, err := os.Open(*snapFlag); err == nil {
+			n, lerr := eng.LoadCache(f)
+			f.Close()
+			if lerr != nil {
+				fatal(lerr)
+			}
+			fmt.Printf("aggcached: warm restart, %d chunks from %s\n", n, *snapFlag)
+		}
+	}
+	if *preloadFlag && c.Len() == 0 {
+		if gb, ok, err := eng.Preload(); err != nil {
+			fatal(err)
+		} else if ok {
+			fmt.Printf("aggcached: preloaded %s (%d chunks)\n",
+				grid.Lattice().LevelTupleString(gb), grid.NumChunks(gb))
+		}
+	}
+
+	srv := mtier.NewServer(eng)
+	addr, err := srv.Listen(*listenFlag)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("aggcached: %s scale, %s strategy, %dKB cache, serving on %s\n",
+		scale, strat.Name(), *cacheKBFlag, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("aggcached: shutting down")
+	st := eng.Stats()
+	fmt.Printf("aggcached: served %d queries, %d complete hits, %d backend trips\n",
+		st.Queries, st.CompleteHits, st.BackendQueries)
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+	if *snapFlag != "" {
+		f, err := os.Create(*snapFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if err := eng.SaveCache(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("aggcached: cache snapshot written to %s\n", *snapFlag)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aggcached:", err)
+	os.Exit(1)
+}

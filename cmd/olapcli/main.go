@@ -1,0 +1,213 @@
+// Command olapcli is an interactive shell over an aggregate aware cache:
+// type mdq queries (SUM(UnitSales) BY Product:Group, Time:Month WHERE ...)
+// and watch whether each answer came from the cache, in-cache aggregation,
+// or the backend.
+//
+// Usage:
+//
+//	olapcli -scale tiny
+//	olapcli -scale small -strategy VCMC -cache-kb 512 -backend 127.0.0.1:7070
+//
+// Shell commands: \schema, \stats, \preload, \help, \quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aggcache/internal/apb"
+	"aggcache/internal/backend"
+	"aggcache/internal/bench"
+	"aggcache/internal/cache"
+	"aggcache/internal/chunk"
+	"aggcache/internal/core"
+	"aggcache/internal/data"
+	"aggcache/internal/mdq"
+	"aggcache/internal/metrics"
+	"aggcache/internal/sizer"
+)
+
+func main() {
+	var (
+		scaleFlag   = flag.String("scale", "tiny", "dataset scale: tiny|small|medium|full")
+		seedFlag    = flag.Int64("seed", 1, "generator seed")
+		stratFlag   = flag.String("strategy", "VCMC", "lookup strategy: ESM|ESMC|VCM|VCMC|NoAgg")
+		cacheKBFlag = flag.Int64("cache-kb", 256, "cache size in KB")
+		backendFlag = flag.String("backend", "", "remote backend address (empty = in-process)")
+		rowsFlag    = flag.Int("rows", 20, "max result rows to print")
+	)
+	flag.Parse()
+
+	scale, err := apb.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := apb.New(scale)
+	grid, err := chunk.NewGrid(cfg.Schema, cfg.ChunkCounts)
+	if err != nil {
+		fatal(err)
+	}
+
+	var be backend.Backend
+	var rows int
+	if *backendFlag != "" {
+		remote, err := backend.Dial(*backendFlag)
+		if err != nil {
+			fatal(err)
+		}
+		be = remote
+		rows = cfg.Rows // assume the server runs the same preset
+		fmt.Printf("olapcli: using remote backend %s\n", *backendFlag)
+	} else {
+		tab, err := data.Generate(cfg.Schema, data.Params{
+			Rows: cfg.Rows, Density: cfg.Density, TimeDim: cfg.TimeDim, Seed: *seedFlag,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		engine, err := backend.NewEngine(grid, tab, backend.DefaultLatency)
+		if err != nil {
+			fatal(err)
+		}
+		be = engine
+		rows = tab.Len()
+	}
+	defer be.Close()
+
+	sz := sizer.NewEstimate(grid, int64(rows))
+	env := &bench.Env{Grid: grid, Sizer: sz} // reuse the strategy factory
+	strat, err := env.NewStrategy(bench.StrategyName(*stratFlag), 2_000_000)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := cache.New(*cacheKBFlag<<10, cache.NewTwoLevel())
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := core.New(grid, c, strat, be, sz, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("olapcli: %s scale, %s strategy, %dKB cache. Type \\help for help.\n",
+		scale, strat.Name(), *cacheKBFlag)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("mdq> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\help`:
+			printHelp(grid)
+		case line == `\schema`:
+			printSchema(grid)
+		case line == `\stats`:
+			printStats(eng)
+		case strings.HasPrefix(line, `\explain `):
+			explain(grid, eng, strings.TrimPrefix(line, `\explain `))
+		case line == `\preload`:
+			gb, ok, err := eng.Preload()
+			switch {
+			case err != nil:
+				fmt.Println("error:", err)
+			case !ok:
+				fmt.Println("no group-by fits the cache")
+			default:
+				fmt.Printf("preloaded %s (%d chunks, cache %dKB used)\n",
+					grid.Lattice().LevelTupleString(gb), grid.NumChunks(gb), c.Used()>>10)
+			}
+		default:
+			runQuery(grid, eng, line, *rowsFlag)
+		}
+		fmt.Print("mdq> ")
+	}
+}
+
+func runQuery(grid *chunk.Grid, eng *core.Engine, line string, maxRows int) {
+	q, agg, err := mdq.Compile(line, grid)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := eng.Execute(q)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(mdq.FormatResult(grid, res, agg, maxRows))
+	source := "backend"
+	if res.CompleteHit {
+		source = "cache"
+		if res.AggregatedTuples > 0 {
+			source = "cache (aggregated)"
+		}
+	}
+	fmt.Printf("  [%s; %d hit / %d miss chunks; lookup %s agg %s update %s backend %s ms]\n",
+		source, res.HitChunks, res.MissChunks,
+		ms(res.Breakdown.Lookup), ms(res.Breakdown.Aggregate),
+		ms(res.Breakdown.Update), ms(res.Breakdown.Backend))
+}
+
+func ms(d interface{ Nanoseconds() int64 }) string {
+	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e6)
+}
+
+func explain(grid *chunk.Grid, eng *core.Engine, src string) {
+	q, _, err := mdq.Compile(src, grid)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	out, err := eng.Explain(q)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(out)
+}
+
+func printHelp(grid *chunk.Grid) {
+	fmt.Println(`queries:  SUM|COUNT|AVG(UnitSales) BY Dim:Level[, Dim:Level...] [WHERE Dim:Level IN lo..hi [AND ...]]
+commands: \schema         show dimensions and levels
+          \preload        preload the best-fitting group-by (two-level policy)
+          \explain <query> show the answer plan without executing
+          \stats          engine counters
+          \quit           exit`)
+	fmt.Print("example:  ")
+	sch := grid.Schema()
+	d0 := sch.Dim(0)
+	fmt.Printf("SUM(%s) BY %s:%s\n", sch.Measure(), d0.Name(), d0.LevelName(1))
+}
+
+func printSchema(grid *chunk.Grid) {
+	sch := grid.Schema()
+	for d := 0; d < sch.NumDims(); d++ {
+		dim := sch.Dim(d)
+		var lv []string
+		for l := 0; l <= dim.Hierarchy(); l++ {
+			lv = append(lv, fmt.Sprintf("%s(%d)", dim.LevelName(l), dim.Card(l)))
+		}
+		fmt.Printf("  %-10s %s\n", dim.Name(), strings.Join(lv, " > "))
+	}
+	fmt.Printf("  measure: %s; %d group-bys in the lattice\n", sch.Measure(), grid.Lattice().NumNodes())
+}
+
+func printStats(eng *core.Engine) {
+	st := eng.Stats()
+	fmt.Printf("  queries=%d complete-hits=%d backend-queries=%d backend-tuples=%d agg-tuples=%d\n",
+		st.Queries, st.CompleteHits, st.BackendQueries, st.BackendTuples, st.AggTuples)
+	var b metrics.Breakdown = st.Breakdown
+	fmt.Printf("  cumulative: %s\n", b.String())
+	fmt.Printf("  cache: %d chunks, %dKB/%dKB\n",
+		eng.Cache().Len(), eng.Cache().Used()>>10, eng.Cache().Capacity()>>10)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "olapcli:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,176 @@
+// Package apb provides APB-1-style schema presets (OLAP Council Analytical
+// Processing Benchmark) at several scales, mirroring §7 of the paper: five
+// dimensions Product, Customer, Time, Channel and Scenario with hierarchy
+// sizes 6, 2, 3, 1 and 1, a UnitSales measure, and a density-controlled
+// HistSale fact table.
+package apb
+
+import (
+	"fmt"
+
+	"aggcache/internal/chunk"
+	"aggcache/internal/data"
+	"aggcache/internal/schema"
+)
+
+// Scale selects a preset size. Absolute numbers shrink with scale but the
+// lattice shape (336 group-bys) is preserved for Small/Medium/Full; Tiny is
+// a 3-dimension schema for fast unit tests.
+type Scale int
+
+const (
+	// ScaleTiny is a 3-dimension, 18-group-by schema with a few hundred rows.
+	ScaleTiny Scale = iota
+	// ScaleSmall keeps the full 336-node APB lattice at toy cardinalities.
+	ScaleSmall
+	// ScaleMedium is large enough for representative measurements.
+	ScaleMedium
+	// ScaleFull approximates the paper's setup: ~1M rows, ~50k chunks.
+	ScaleFull
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleSmall:
+		return "small"
+	case ScaleMedium:
+		return "medium"
+	case ScaleFull:
+		return "full"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// ParseScale converts a flag value into a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return ScaleTiny, nil
+	case "small":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	case "full":
+		return ScaleFull, nil
+	}
+	return 0, fmt.Errorf("apb: unknown scale %q (want tiny|small|medium|full)", s)
+}
+
+// Config bundles everything needed to instantiate an APB-style workload.
+type Config struct {
+	Schema      *schema.Schema
+	ChunkCounts [][]int
+	Rows        int
+	Density     float64
+	TimeDim     int
+}
+
+// New returns the preset configuration for a scale.
+func New(scale Scale) Config {
+	mk := func(name string, names []string, cards []int) *schema.Dimension {
+		specs := make([]schema.HierarchySpec, len(cards))
+		for i := range cards {
+			specs[i] = schema.HierarchySpec{Name: names[i], Card: cards[i]}
+		}
+		return schema.MustNewDimension(name, specs)
+	}
+	productLevels := []string{"Division", "Line", "Family", "Group", "Class", "Code"}
+	customerLevels := []string{"Retailer", "Store"}
+	timeLevels := []string{"Year", "Quarter", "Month"}
+
+	switch scale {
+	case ScaleTiny:
+		product := mk("Product", []string{"Group", "Code"}, []int{2, 16})
+		timeD := mk("Time", []string{"Year", "Month"}, []int{2, 8})
+		channel := mk("Channel", []string{"Base"}, []int{8})
+		return Config{
+			Schema:      schema.MustNew("UnitSales", product, timeD, channel),
+			ChunkCounts: [][]int{{1, 2, 4}, {1, 1, 2}, {1, 2}},
+			Rows:        500,
+			Density:     0.7,
+			TimeDim:     1,
+		}
+	case ScaleSmall:
+		return Config{
+			Schema: schema.MustNew("UnitSales",
+				mk("Product", productLevels, []int{2, 4, 8, 16, 32, 64}),
+				mk("Customer", customerLevels, []int{10, 100}),
+				mk("Time", timeLevels, []int{2, 8, 24}),
+				mk("Channel", []string{"Base"}, []int{4}),
+				mk("Scenario", []string{"Scenario"}, []int{2}),
+			),
+			ChunkCounts: [][]int{
+				{1, 1, 2, 4, 8, 8, 16},
+				{1, 2, 5},
+				{1, 1, 2, 4},
+				{1, 2},
+				{1, 1},
+			},
+			Rows:    20_000,
+			Density: 0.7,
+			TimeDim: 2,
+		}
+	case ScaleMedium:
+		return Config{
+			Schema: schema.MustNew("UnitSales",
+				mk("Product", productLevels, []int{4, 16, 64, 256, 1024, 4096}),
+				mk("Customer", customerLevels, []int{40, 400}),
+				mk("Time", timeLevels, []int{2, 8, 24}),
+				mk("Channel", []string{"Base"}, []int{10}),
+				mk("Scenario", []string{"Scenario"}, []int{2}),
+			),
+			ChunkCounts: [][]int{
+				{1, 1, 2, 4, 8, 16, 32},
+				{1, 4, 8},
+				{1, 1, 2, 6},
+				{1, 2},
+				{1, 1},
+			},
+			Rows:    150_000,
+			Density: 0.7,
+			TimeDim: 2,
+		}
+	case ScaleFull:
+		return Config{
+			Schema: schema.MustNew("UnitSales",
+				mk("Product", productLevels, []int{5, 20, 80, 320, 1600, 9600}),
+				mk("Customer", customerLevels, []int{90, 900}),
+				mk("Time", timeLevels, []int{2, 8, 24}),
+				mk("Channel", []string{"Base"}, []int{10}),
+				mk("Scenario", []string{"Scenario"}, []int{2}),
+			),
+			ChunkCounts: [][]int{
+				{1, 1, 2, 4, 8, 16, 32},
+				{1, 3, 9},
+				{1, 1, 2, 6},
+				{1, 2},
+				{1, 1},
+			},
+			Rows:    1_000_000,
+			Density: 0.7,
+			TimeDim: 2,
+		}
+	}
+	panic(fmt.Sprintf("apb: unknown scale %v", scale))
+}
+
+// Build instantiates the grid and generates the fact table for the preset.
+func (c Config) Build(seed int64) (*chunk.Grid, *data.Table, error) {
+	g, err := chunk.NewGrid(c.Schema, c.ChunkCounts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("apb: %w", err)
+	}
+	tab, err := data.Generate(c.Schema, data.Params{
+		Rows:    c.Rows,
+		Density: c.Density,
+		TimeDim: c.TimeDim,
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("apb: %w", err)
+	}
+	return g, tab, nil
+}

@@ -1,0 +1,85 @@
+package apb
+
+import (
+	"testing"
+
+	"aggcache/internal/chunk"
+)
+
+func TestScaleString(t *testing.T) {
+	for _, s := range []Scale{ScaleTiny, ScaleSmall, ScaleMedium, ScaleFull} {
+		name := s.String()
+		got, err := ParseScale(name)
+		if err != nil || got != s {
+			t.Fatalf("ParseScale(%q) = %v,%v", name, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatalf("ParseScale(huge): expected error")
+	}
+	if got := Scale(99).String(); got != "Scale(99)" {
+		t.Fatalf("unknown scale String = %q", got)
+	}
+}
+
+func TestTinyBuild(t *testing.T) {
+	cfg := New(ScaleTiny)
+	g, tab, err := cfg.Build(1)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := g.Lattice().NumNodes(); got != 18 {
+		t.Fatalf("tiny lattice nodes = %d, want 18", got)
+	}
+	if tab.Len() < 300 || tab.Len() > 800 {
+		t.Fatalf("tiny rows = %d, want ~500", tab.Len())
+	}
+}
+
+// TestLatticeShape336 checks the paper's lattice claim for every non-tiny
+// scale: (6+1)(2+1)(3+1)(1+1)(1+1) = 336 group-bys.
+func TestLatticeShape336(t *testing.T) {
+	for _, s := range []Scale{ScaleSmall, ScaleMedium, ScaleFull} {
+		cfg := New(s)
+		hs := cfg.Schema.HierarchySizes()
+		want := []int{6, 2, 3, 1, 1}
+		for i := range want {
+			if hs[i] != want[i] {
+				t.Fatalf("%v: hierarchy sizes %v, want %v", s, hs, want)
+			}
+		}
+		n := 1
+		for _, h := range hs {
+			n *= h + 1
+		}
+		if n != 336 {
+			t.Fatalf("%v: %d group-bys, want 336", s, n)
+		}
+	}
+}
+
+// TestGridsConstruct checks chunk-count feasibility (closure alignment) for
+// all scales without generating the large datasets.
+func TestGridsConstruct(t *testing.T) {
+	for _, s := range []Scale{ScaleTiny, ScaleSmall, ScaleMedium, ScaleFull} {
+		cfg := New(s)
+		g, err := chunk.NewGrid(cfg.Schema, cfg.ChunkCounts)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if g.TotalChunks() <= 0 {
+			t.Fatalf("%v: no chunks", s)
+		}
+	}
+}
+
+func TestSmallBuildRows(t *testing.T) {
+	cfg := New(ScaleSmall)
+	_, tab, err := cfg.Build(2)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if tab.Len() < 14_000 || tab.Len() > 28_000 {
+		t.Fatalf("small rows = %d, want ~20k", tab.Len())
+	}
+}

@@ -1,0 +1,278 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"aggcache/internal/chunk"
+	"aggcache/internal/data"
+	"aggcache/internal/lattice"
+)
+
+// factSource is one chunk-clustered relation the engine can scan: the base
+// fact table, or a materialized aggregate of it. Rows are sorted by chunk
+// number at the source's group-by level with a dense offset index — the
+// paper's "clustered index on the chunk number".
+type factSource struct {
+	gb      lattice.ID
+	members []int32   // row-major member ids at gb's levels
+	values  []float64 // measure sums
+	counts  []int64   // contributing fact-row counts (1 for base rows)
+	offsets []int64   // offsets[c]..offsets[c+1] = row range of chunk c
+}
+
+func (s *factSource) rows() int64 { return int64(len(s.values)) }
+
+// Engine is the in-process backend: the fact table (plus any materialized
+// aggregate group-bys) stored clustered by chunk number, with an aggregation
+// executor. Materialized aggregates model the pre-computed summary tables a
+// production warehouse keeps (§7.1 notes the backend-vs-cache factor depends
+// on their presence).
+type Engine struct {
+	grid    *chunk.Grid
+	latency LatencyModel
+	nd      int
+	sources map[lattice.ID]*factSource
+	// ancCache[(src<<32)|dst][d] maps a member at src's level to its
+	// ancestor at dst's level.
+	ancCache map[uint64][][]int32
+}
+
+// NewEngine loads the fact table into clustered chunk order. The table is
+// copied; the caller may discard it.
+func NewEngine(g *chunk.Grid, tab *data.Table, latency LatencyModel) (*Engine, error) {
+	if tab.Schema() != g.Schema() {
+		return nil, fmt.Errorf("backend: table and grid use different schemas")
+	}
+	e := &Engine{
+		grid:     g,
+		latency:  latency,
+		nd:       g.Schema().NumDims(),
+		sources:  make(map[lattice.ID]*factSource),
+		ancCache: make(map[uint64][][]int32),
+	}
+	base := g.Lattice().Base()
+	n := tab.Len()
+	rows := make([][]int32, 0, n)
+	vals := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, tab.Row(i))
+		vals = append(vals, tab.Value(i))
+	}
+	e.sources[base] = e.clusterRows(base, rows, vals, nil)
+	return e, nil
+}
+
+// clusterRows sorts (member-vector, sum, count) rows by chunk number at gb
+// and builds the offset index. A nil counts means one fact row each.
+func (e *Engine) clusterRows(gb lattice.ID, rows [][]int32, vals []float64, counts []int64) *factSource {
+	g := e.grid
+	n := len(rows)
+	nums := make([]int32, n)
+	order := make([]int32, n)
+	for i := 0; i < n; i++ {
+		num, _ := g.ChunkOfCell(gb, rows[i])
+		nums[i] = int32(num)
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return nums[order[a]] < nums[order[b]] })
+	s := &factSource{
+		gb:      gb,
+		members: make([]int32, 0, n*e.nd),
+		values:  make([]float64, 0, n),
+		counts:  make([]int64, 0, n),
+		offsets: make([]int64, g.NumChunks(gb)+1),
+	}
+	for _, ri := range order {
+		s.members = append(s.members, rows[ri]...)
+		s.values = append(s.values, vals[ri])
+		if counts == nil {
+			s.counts = append(s.counts, 1)
+		} else {
+			s.counts = append(s.counts, counts[ri])
+		}
+	}
+	c := 0
+	for i, ri := range order {
+		for c <= int(nums[ri]) {
+			s.offsets[c] = int64(i)
+			c++
+		}
+	}
+	for ; c < len(s.offsets); c++ {
+		s.offsets[c] = int64(n)
+	}
+	return s
+}
+
+// Rows returns the number of base fact rows loaded.
+func (e *Engine) Rows() int64 { return e.sources[e.grid.Lattice().Base()].rows() }
+
+// Grid returns the engine's chunk grid.
+func (e *Engine) Grid() *chunk.Grid { return e.grid }
+
+// Materialize precomputes and stores the given group-bys, clustered on
+// chunk number, so requests on their descendants scan the (much smaller)
+// aggregate instead of the base table — the warehouse's summary tables.
+func (e *Engine) Materialize(gbs ...lattice.ID) error {
+	lat := e.grid.Lattice()
+	for _, gb := range gbs {
+		if int(gb) < 0 || int(gb) >= lat.NumNodes() {
+			return fmt.Errorf("backend: materialize: group-by %d out of range", gb)
+		}
+		if _, ok := e.sources[gb]; ok {
+			continue
+		}
+		chunks, _, err := e.ComputeChunks(gb, allChunks(e.grid, gb))
+		if err != nil {
+			return fmt.Errorf("backend: materialize %s: %w", lat.LevelTupleString(gb), err)
+		}
+		var rows [][]int32
+		var vals []float64
+		var cnts []int64
+		for _, c := range chunks {
+			for i, key := range c.Keys {
+				rows = append(rows, e.grid.CellMembers(gb, int(c.Num), key, nil))
+				vals = append(vals, c.Vals[i])
+				cnts = append(cnts, c.Counts[i])
+			}
+		}
+		e.sources[gb] = e.clusterRows(gb, rows, vals, cnts)
+	}
+	return nil
+}
+
+// Materialized returns the group-bys with a materialized source (always
+// including the base).
+func (e *Engine) Materialized() []lattice.ID {
+	out := make([]lattice.ID, 0, len(e.sources))
+	for gb := range e.sources {
+		out = append(out, gb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func allChunks(g *chunk.Grid, gb lattice.ID) []int {
+	nums := make([]int, g.NumChunks(gb))
+	for i := range nums {
+		nums[i] = i
+	}
+	return nums
+}
+
+// pickSource returns the smallest materialized relation that can answer gb.
+func (e *Engine) pickSource(gb lattice.ID) *factSource {
+	lat := e.grid.Lattice()
+	var best *factSource
+	for sgb, s := range e.sources {
+		if !lat.ComputableFrom(gb, sgb) {
+			continue
+		}
+		if best == nil || s.rows() < best.rows() {
+			best = s
+		}
+	}
+	return best // never nil: the base answers everything
+}
+
+// ancestors returns member maps from src's levels down to dst's levels.
+func (e *Engine) ancestors(src, dst lattice.ID) [][]int32 {
+	key := uint64(src)<<32 | uint64(uint32(dst))
+	if a, ok := e.ancCache[key]; ok {
+		return a
+	}
+	sch := e.grid.Schema()
+	lat := e.grid.Lattice()
+	a := make([][]int32, e.nd)
+	for d := 0; d < e.nd; d++ {
+		dim := sch.Dim(d)
+		from, to := lat.LevelAt(src, d), lat.LevelAt(dst, d)
+		tab := make([]int32, dim.Card(from))
+		for m := range tab {
+			tab[m] = dim.Ancestor(from, to, int32(m))
+		}
+		a[d] = tab
+	}
+	e.ancCache[key] = a
+	return a
+}
+
+// ComputeChunks implements Backend. Each requested chunk's region is located
+// through the clustered index of the smallest applicable source and scanned
+// once; tuples aggregate directly into the target chunk's cell map.
+func (e *Engine) ComputeChunks(gb lattice.ID, nums []int) ([]*chunk.Chunk, Stats, error) {
+	start := time.Now()
+	g := e.grid
+	lat := g.Lattice()
+	if int(gb) < 0 || int(gb) >= lat.NumNodes() {
+		return nil, Stats{}, fmt.Errorf("backend: group-by %d out of range", gb)
+	}
+	src := e.pickSource(gb)
+	anc := e.ancestors(src.gb, gb)
+	var stats Stats
+	out := make([]*chunk.Chunk, 0, len(nums))
+	var sbuf []int
+	mapped := make([]int32, e.nd)
+	for _, num := range nums {
+		if num < 0 || num >= g.NumChunks(gb) {
+			return nil, Stats{}, fmt.Errorf("backend: chunk %d of group-by %s out of range", num, lat.LevelTupleString(gb))
+		}
+		cm := g.NewCellMap(gb, num)
+		sbuf = g.AncestorChunks(gb, num, src.gb, sbuf[:0])
+		for _, sc := range sbuf {
+			lo, hi := src.offsets[sc], src.offsets[sc+1]
+			for r := lo; r < hi; r++ {
+				row := src.members[r*int64(e.nd) : (r+1)*int64(e.nd)]
+				for d := 0; d < e.nd; d++ {
+					mapped[d] = anc[d][row[d]]
+				}
+				_, key := g.ChunkOfCell(gb, mapped)
+				cm.AddCell(key, src.values[r], src.counts[r])
+			}
+			stats.TuplesScanned += hi - lo
+		}
+		c := cm.Build(gb, num)
+		stats.ResultCells += int64(c.Cells())
+		out = append(out, c)
+	}
+	stats.Wall = time.Since(start)
+	stats.Sim = e.latency.charge(stats.TuplesScanned)
+	if e.latency.Sleep {
+		time.Sleep(stats.Sim)
+	}
+	return out, stats, nil
+}
+
+// EstimateScan implements Backend: the tuples ComputeChunks would read,
+// resolved through the clustered index without scanning.
+func (e *Engine) EstimateScan(gb lattice.ID, nums []int) (int64, error) {
+	g := e.grid
+	lat := g.Lattice()
+	if int(gb) < 0 || int(gb) >= lat.NumNodes() {
+		return 0, fmt.Errorf("backend: group-by %d out of range", gb)
+	}
+	src := e.pickSource(gb)
+	var total int64
+	var sbuf []int
+	for _, num := range nums {
+		if num < 0 || num >= g.NumChunks(gb) {
+			return 0, fmt.Errorf("backend: chunk %d of group-by %s out of range", num, lat.LevelTupleString(gb))
+		}
+		sbuf = g.AncestorChunks(gb, num, src.gb, sbuf[:0])
+		for _, sc := range sbuf {
+			total += src.offsets[sc+1] - src.offsets[sc]
+		}
+	}
+	return total, nil
+}
+
+// ComputeGroupBy computes every chunk of a group-by; used for cache
+// preloading and for building exact size oracles.
+func (e *Engine) ComputeGroupBy(gb lattice.ID) ([]*chunk.Chunk, Stats, error) {
+	return e.ComputeChunks(gb, allChunks(e.grid, gb))
+}
+
+// Close implements Backend; the in-process engine has nothing to release.
+func (e *Engine) Close() error { return nil }

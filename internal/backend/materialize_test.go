@@ -1,0 +1,141 @@
+package backend
+
+import (
+	"testing"
+
+	"aggcache/internal/lattice"
+)
+
+func TestMaterializeMatchesBase(t *testing.T) {
+	plain, tab := tinyEngine(t, LatencyModel{})
+	mat, _ := tinyEngine(t, LatencyModel{})
+	lat := plain.Grid().Lattice()
+	// Materialize a mid-level group-by: Product aggregated out, time at
+	// month, channel at base.
+	mid := lat.MustID(0, 2, 1)
+	if err := mat.Materialize(mid); err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	_ = tab
+	// Every descendant of mid must produce identical results either way.
+	for id := lattice.ID(0); int(id) < lat.NumNodes(); id++ {
+		if !lat.ComputableFrom(id, mid) {
+			continue
+		}
+		want, _, err := plain.ComputeGroupBy(id)
+		if err != nil {
+			t.Fatalf("plain: %v", err)
+		}
+		got, _, err := mat.ComputeGroupBy(id)
+		if err != nil {
+			t.Fatalf("materialized: %v", err)
+		}
+		for i := range want {
+			if want[i].Cells() != got[i].Cells() {
+				t.Fatalf("gb %s chunk %d: %d cells vs %d", lat.LevelTupleString(id), i, got[i].Cells(), want[i].Cells())
+			}
+			for j, key := range want[i].Keys {
+				v, ok := got[i].Value(key)
+				if !ok {
+					t.Fatalf("gb %s chunk %d: missing cell", lat.LevelTupleString(id), i)
+				}
+				if diff := v - want[i].Vals[j]; diff > 1e-6 || diff < -1e-6 {
+					t.Fatalf("gb %s chunk %d: value %v vs %v", lat.LevelTupleString(id), i, v, want[i].Vals[j])
+				}
+			}
+		}
+	}
+}
+
+func TestMaterializeReducesScan(t *testing.T) {
+	e, tab := tinyEngine(t, LatencyModel{})
+	lat := e.Grid().Lattice()
+	mid := lat.MustID(0, 2, 1)
+	before, _, err := e.ComputeChunks(lat.Top(), []int{0})
+	if err != nil {
+		t.Fatalf("before: %v", err)
+	}
+	_ = before
+	est0, err := e.EstimateScan(lat.Top(), []int{0})
+	if err != nil {
+		t.Fatalf("EstimateScan: %v", err)
+	}
+	if est0 != int64(tab.Len()) {
+		t.Fatalf("base estimate %d, want %d", est0, tab.Len())
+	}
+	if err := e.Materialize(mid); err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	est1, err := e.EstimateScan(lat.Top(), []int{0})
+	if err != nil {
+		t.Fatalf("EstimateScan: %v", err)
+	}
+	if est1 >= est0 {
+		t.Fatalf("materialization did not reduce estimated scan: %d -> %d", est0, est1)
+	}
+	// The actual scan matches the estimate.
+	_, stats, err := e.ComputeChunks(lat.Top(), []int{0})
+	if err != nil {
+		t.Fatalf("ComputeChunks: %v", err)
+	}
+	if stats.TuplesScanned != est1 {
+		t.Fatalf("scanned %d, estimated %d", stats.TuplesScanned, est1)
+	}
+	// A group-by not computable from mid still scans the base.
+	est2, err := e.EstimateScan(lat.Base(), []int{0})
+	if err != nil {
+		t.Fatalf("EstimateScan(base): %v", err)
+	}
+	if est2 <= 0 {
+		t.Fatalf("base-level estimate %d", est2)
+	}
+}
+
+func TestMaterializeIdempotentAndErrors(t *testing.T) {
+	e, _ := tinyEngine(t, LatencyModel{})
+	lat := e.Grid().Lattice()
+	if got := len(e.Materialized()); got != 1 {
+		t.Fatalf("initial Materialized = %d, want 1 (base)", got)
+	}
+	if err := e.Materialize(lat.Top(), lat.Top()); err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if got := len(e.Materialized()); got != 2 {
+		t.Fatalf("Materialized = %d, want 2", got)
+	}
+	if err := e.Materialize(lattice.ID(9999)); err == nil {
+		t.Fatalf("out-of-range materialize: expected error")
+	}
+	if _, err := e.EstimateScan(lattice.ID(9999), []int{0}); err == nil {
+		t.Fatalf("out-of-range estimate: expected error")
+	}
+	if _, err := e.EstimateScan(lat.Top(), []int{7}); err == nil {
+		t.Fatalf("out-of-range chunk estimate: expected error")
+	}
+}
+
+func TestRemoteEstimateScan(t *testing.T) {
+	e, tab := tinyEngine(t, LatencyModel{})
+	srv := NewServer(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+	remote, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer remote.Close()
+	lat := e.Grid().Lattice()
+	est, err := remote.EstimateScan(lat.Top(), []int{0})
+	if err != nil {
+		t.Fatalf("EstimateScan: %v", err)
+	}
+	if est != int64(tab.Len()) {
+		t.Fatalf("remote estimate %d, want %d", est, tab.Len())
+	}
+	if _, err := remote.EstimateScan(9999, []int{0}); err == nil {
+		t.Fatalf("remote bad estimate: expected error")
+	}
+}

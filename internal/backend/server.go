@@ -1,0 +1,206 @@
+package backend
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"aggcache/internal/chunk"
+	"aggcache/internal/lattice"
+)
+
+// request is one wire-protocol request: compute (or, with EstimateOnly,
+// cost-estimate) the listed chunks of one group-by.
+type request struct {
+	GB           lattice.ID
+	Nums         []int
+	EstimateOnly bool
+}
+
+// response carries the computed chunks back. Err is non-empty on failure.
+type response struct {
+	Chunks   []*chunk.Chunk
+	Stats    Stats
+	Estimate int64
+	Err      string
+}
+
+// Server exposes an Engine over a TCP listener with a gob protocol: each
+// connection carries a stream of request/response pairs. It stands in for
+// the paper's remote commercial DBMS tier.
+type Server struct {
+	engine *Engine
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps an engine for serving.
+func NewServer(e *Engine) *Server {
+	return &Server{engine: e, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serving happens on background goroutines until
+// Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("backend: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken connection
+		}
+		var resp response
+		if req.EstimateOnly {
+			est, err := s.engine.EstimateScan(req.GB, req.Nums)
+			resp = response{Estimate: est}
+			if err != nil {
+				resp = response{Err: err.Error()}
+			}
+		} else {
+			chunks, stats, err := s.engine.ComputeChunks(req.GB, req.Nums)
+			resp = response{Chunks: chunks, Stats: stats}
+			if err != nil {
+				resp = response{Err: err.Error()}
+			}
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and closes active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Remote is a Backend talking to a Server over TCP. It is safe for
+// concurrent use; requests are serialized over one connection.
+type Remote struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+}
+
+// Dial connects to a backend server.
+func Dial(addr string) (*Remote, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("backend: dial %s: %w", addr, err)
+	}
+	return &Remote{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}, nil
+}
+
+// roundTrip sends one request and decodes its response.
+func (r *Remote) roundTrip(req *request) (*response, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn == nil {
+		return nil, errors.New("backend: remote is closed")
+	}
+	if err := r.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("backend: send: %w", err)
+	}
+	var resp response
+	if err := r.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = errors.New("server closed the connection")
+		}
+		return nil, fmt.Errorf("backend: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("backend: remote: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// ComputeChunks implements Backend over the wire.
+func (r *Remote) ComputeChunks(gb lattice.ID, nums []int) ([]*chunk.Chunk, Stats, error) {
+	resp, err := r.roundTrip(&request{GB: gb, Nums: nums})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return resp.Chunks, resp.Stats, nil
+}
+
+// EstimateScan implements Backend over the wire.
+func (r *Remote) EstimateScan(gb lattice.ID, nums []int) (int64, error) {
+	resp, err := r.roundTrip(&request{GB: gb, Nums: nums, EstimateOnly: true})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Estimate, nil
+}
+
+// Close implements Backend.
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn == nil {
+		return nil
+	}
+	err := r.conn.Close()
+	r.conn = nil
+	return err
+}

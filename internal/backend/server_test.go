@@ -1,0 +1,130 @@
+package backend
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestServerRoundTrip(t *testing.T) {
+	e, _ := tinyEngine(t, LatencyModel{})
+	srv := NewServer(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	remote, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer remote.Close()
+
+	lat := e.Grid().Lattice()
+	wantChunks, wantStats, err := e.ComputeChunks(lat.Top(), []int{0})
+	if err != nil {
+		t.Fatalf("local compute: %v", err)
+	}
+	gotChunks, gotStats, err := remote.ComputeChunks(lat.Top(), []int{0})
+	if err != nil {
+		t.Fatalf("remote compute: %v", err)
+	}
+	if len(gotChunks) != 1 || gotChunks[0].Cells() != wantChunks[0].Cells() {
+		t.Fatalf("remote chunks differ: %v vs %v", gotChunks, wantChunks)
+	}
+	if gotChunks[0].Total() != wantChunks[0].Total() {
+		t.Fatalf("remote totals differ")
+	}
+	if gotStats.TuplesScanned != wantStats.TuplesScanned {
+		t.Fatalf("remote stats differ: %+v vs %+v", gotStats, wantStats)
+	}
+}
+
+func TestServerPipelinesRequests(t *testing.T) {
+	e, _ := tinyEngine(t, LatencyModel{})
+	srv := NewServer(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	remote, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer remote.Close()
+
+	lat := e.Grid().Lattice()
+	// Many requests over one connection, concurrently (client serializes).
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := remote.ComputeChunks(lat.Top(), []int{0})
+			if err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent request: %v", err)
+	}
+}
+
+func TestServerRemoteError(t *testing.T) {
+	e, _ := tinyEngine(t, LatencyModel{})
+	srv := NewServer(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	remote, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer remote.Close()
+
+	if _, _, err := remote.ComputeChunks(9999, []int{0}); err == nil {
+		t.Fatalf("expected remote error for bad group-by")
+	}
+	// The connection survives an application-level error.
+	if _, _, err := remote.ComputeChunks(e.Grid().Lattice().Top(), []int{0}); err != nil {
+		t.Fatalf("connection did not survive error: %v", err)
+	}
+}
+
+func TestRemoteClosed(t *testing.T) {
+	e, _ := tinyEngine(t, LatencyModel{})
+	srv := NewServer(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+	remote, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if err := remote.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := remote.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if _, _, err := remote.ComputeChunks(0, []int{0}); err == nil {
+		t.Fatalf("expected error after Close")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatalf("expected dial error")
+	}
+}

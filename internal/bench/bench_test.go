@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"aggcache/internal/apb"
+	"aggcache/internal/backend"
+)
+
+// tinyConfig keeps experiment tests fast.
+func tinyConfig() Config {
+	cfg := DefaultConfig(apb.ScaleTiny)
+	cfg.Queries = 40
+	cfg.LookupBudget = 200_000
+	cfg.Latency = backend.LatencyModel{Connect: 100_000, PerTuple: 100} // ns values
+	return cfg
+}
+
+func tinyEnv(t testing.TB) *Env {
+	t.Helper()
+	e, err := NewEnv(tinyConfig())
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	return e
+}
+
+func TestRunAllExperiments(t *testing.T) {
+	e := tinyEnv(t)
+	reports, err := Run(e, "all")
+	if err != nil {
+		t.Fatalf("Run(all): %v", err)
+	}
+	if len(reports) < 12 {
+		t.Fatalf("got %d reports, want ≥ 12", len(reports))
+	}
+	seen := map[string]bool{}
+	for _, r := range reports {
+		if r.ID == "" || r.Title == "" {
+			t.Fatalf("report missing metadata: %+v", r)
+		}
+		seen[r.ID] = true
+		out := r.String()
+		if !strings.Contains(out, r.ID) {
+			t.Fatalf("String() does not include the id:\n%s", out)
+		}
+	}
+	for _, id := range []string{"table1", "table2", "table3", "fig7", "fig8", "fig9", "fig10", "table4", "unit-aggbenefit", "unit-costvar", "lemma1", "lemma2", "ablate"} {
+		if !seen[id] {
+			t.Fatalf("missing report %s (have %v)", id, seen)
+		}
+	}
+}
+
+func TestRunSingleAndAliases(t *testing.T) {
+	e := tinyEnv(t)
+	rs, err := Run(e, "table3")
+	if err != nil || len(rs) != 1 || rs[0].ID != "table3" {
+		t.Fatalf("Run(table3) = %v, %v", rs, err)
+	}
+	rs, err = Run(e, "fig8")
+	if err != nil || len(rs) != 2 {
+		t.Fatalf("Run(fig8 alias) = %v, %v", rs, err)
+	}
+	if _, err := Run(e, "nope"); err == nil {
+		t.Fatalf("unknown experiment: expected error")
+	}
+	ids := IDs()
+	if len(ids) < 11 {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+// TestFig9ShapeHolds checks the paper's headline comparison on the tiny
+// scale: the aggregate aware schemes achieve strictly more complete hits
+// than the no-aggregation baseline.
+func TestFig9ShapeHolds(t *testing.T) {
+	e := tinyEnv(t)
+	sizes := e.CacheSizes()
+	bytes := sizes[len(sizes)-1]
+	noagg, err := e.RunStream(SystemSpec{Strategy: StratNoAgg, Policy: PolicyBenefit, Bytes: bytes})
+	if err != nil {
+		t.Fatalf("noagg: %v", err)
+	}
+	vcmc, err := e.RunStream(SystemSpec{Strategy: StratVCMC, Policy: PolicyTwoLevel, Bytes: bytes, Preload: true})
+	if err != nil {
+		t.Fatalf("vcmc: %v", err)
+	}
+	if vcmc.CompleteHits <= noagg.CompleteHits {
+		t.Fatalf("VCMC hits %d not above NoAgg hits %d", vcmc.CompleteHits, noagg.CompleteHits)
+	}
+	// With the largest cache the base table fits, so after preloading the
+	// two-level VCMC system answers everything from the cache.
+	if vcmc.HitRatio() != 100 {
+		t.Fatalf("VCMC hit ratio %.0f%%, want 100%% with the base table cached", vcmc.HitRatio())
+	}
+}
+
+// TestStreamDeterminism: identical specs produce identical hit counts.
+func TestStreamDeterminism(t *testing.T) {
+	e := tinyEnv(t)
+	spec := SystemSpec{Strategy: StratVCM, Policy: PolicyTwoLevel, Bytes: e.CacheSizes()[0], Preload: true}
+	a, err := e.RunStream(spec)
+	if err != nil {
+		t.Fatalf("a: %v", err)
+	}
+	b, err := e.RunStream(spec)
+	if err != nil {
+		t.Fatalf("b: %v", err)
+	}
+	if a.CompleteHits != b.CompleteHits || a.BudgetMisses != b.BudgetMisses {
+		t.Fatalf("stream runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestTable2LevelsAPBNotation(t *testing.T) {
+	cfg := DefaultConfig(apb.ScaleSmall)
+	cfg.Latency = backend.LatencyModel{}
+	e, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	a, b, err := e.table2Levels()
+	if err != nil {
+		t.Fatalf("table2Levels: %v", err)
+	}
+	lat := e.Grid.Lattice()
+	if got := lat.LevelTupleString(a); got != "(6,2,3,1,0)" {
+		t.Fatalf("level A = %s, want (6,2,3,1,0)", got)
+	}
+	if got := lat.LevelTupleString(b); got != "(6,2,3,0,0)" {
+		t.Fatalf("level B = %s, want (6,2,3,0,0)", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := &Report{ID: "x", Title: "t", Header: []string{"a", "b"}}
+	r.AddRow("1", "2")
+	r.AddRow("3", "4")
+	var buf strings.Builder
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if got := buf.String(); got != "a,b\n1,2\n3,4\n" {
+		t.Fatalf("csv = %q", got)
+	}
+	// Tableless reports write nothing.
+	empty := &Report{ID: "y", Title: "t"}
+	buf.Reset()
+	if err := empty.WriteCSV(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("tableless csv = %q, %v", buf.String(), err)
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	if got := SizeLabel(25 << 20); got != "25.0MB" {
+		t.Fatalf("SizeLabel = %q", got)
+	}
+	if got := SizeLabel(2048); got != "2KB" {
+		t.Fatalf("SizeLabel = %q", got)
+	}
+	if got := SizeLabel(100); got != "100B" {
+		t.Fatalf("SizeLabel = %q", got)
+	}
+}
+
+func TestNewSystemErrors(t *testing.T) {
+	e := tinyEnv(t)
+	if _, err := e.NewSystem(SystemSpec{Strategy: "bogus", Policy: PolicyBenefit, Bytes: 1000}); err == nil {
+		t.Fatalf("bogus strategy: expected error")
+	}
+	if _, err := e.NewSystem(SystemSpec{Strategy: StratVCM, Policy: "bogus", Bytes: 1000}); err == nil {
+		t.Fatalf("bogus policy: expected error")
+	}
+	if _, err := e.NewSystem(SystemSpec{Strategy: StratVCM, Policy: PolicyBenefit, Bytes: 0}); err == nil {
+		t.Fatalf("zero capacity: expected error")
+	}
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is one experiment's output: a headline, free-form notes, and an
+// aligned table mirroring the paper's artifact.
+type Report struct {
+	ID    string
+	Title string
+	Lines []string
+	// Header and Rows render as an aligned table when non-empty.
+	Header []string
+	Rows   [][]string
+}
+
+// Addf appends a formatted note line.
+func (r *Report) Addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// AddRow appends a table row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		fmt.Fprintf(&b, "%s\n", l)
+	}
+	if len(r.Header) > 0 {
+		widths := make([]int, len(r.Header))
+		for i, h := range r.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range r.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		writeRow := func(cells []string) {
+			for i, c := range cells {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			}
+			b.WriteByte('\n')
+		}
+		writeRow(r.Header)
+		sep := make([]string, len(r.Header))
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(sep)
+		for _, row := range r.Rows {
+			writeRow(row)
+		}
+	}
+	return b.String()
+}
+
+// WriteCSV emits the report's table as CSV (header row first) for external
+// plotting; reports without a table write nothing.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if len(r.Header) == 0 {
+		return nil
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return fmt.Errorf("bench: csv: %w", err)
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("bench: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

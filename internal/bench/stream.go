@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"aggcache/internal/backend"
+	"aggcache/internal/core"
+	"aggcache/internal/metrics"
+	"aggcache/internal/views"
+	"aggcache/internal/workload"
+)
+
+// StreamResult aggregates one system's run over a query stream.
+type StreamResult struct {
+	Spec         SystemSpec
+	Queries      int
+	CompleteHits int
+	BudgetMisses int
+	// Sum of per-query breakdowns over all queries and over the complete-hit
+	// subset.
+	All     metrics.Breakdown
+	Hits    metrics.Breakdown
+	Elapsed time.Duration
+}
+
+// HitRatio returns the complete-hit percentage (Figure 7, Table 4).
+func (r *StreamResult) HitRatio() float64 {
+	return 100 * float64(r.CompleteHits) / float64(r.Queries)
+}
+
+// AvgAll returns the mean response time over all queries (Figures 8, 9).
+func (r *StreamResult) AvgAll() time.Duration {
+	return r.All.Total() / time.Duration(r.Queries)
+}
+
+// AvgHits returns the mean breakdown over complete-hit queries (Figure 10).
+func (r *StreamResult) AvgHits() metrics.Breakdown {
+	if r.CompleteHits == 0 {
+		return metrics.Breakdown{}
+	}
+	return r.Hits.Scale(r.CompleteHits)
+}
+
+// RunStream executes the paper's query stream (30% drill-down, 30% roll-up,
+// 30% proximity, 10% random) against a fresh system built from spec. The
+// stream is a deterministic function of the environment seed, so every
+// system under comparison answers exactly the same queries.
+func (e *Env) RunStream(spec SystemSpec) (*StreamResult, error) {
+	res, _, err := e.runStreamMix(spec, workload.DefaultMix)
+	return res, err
+}
+
+// runStreamSys runs the default mix and also returns the system for
+// post-run inspection.
+func (e *Env) runStreamSys(spec SystemSpec) (*StreamResult, *System, error) {
+	return e.runStreamMix(spec, workload.DefaultMix)
+}
+
+// runStreamMix is the generic stream runner with an explicit query mix.
+func (e *Env) runStreamMix(spec SystemSpec, mix workload.Mix) (*StreamResult, *System, error) {
+	sys, err := e.NewSystem(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	gen, err := workload.NewGenerator(e.Grid, mix, e.Cfg.MaxQueryWidth, e.Cfg.Seed+1000)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &StreamResult{Spec: spec, Queries: e.Cfg.Queries}
+	start := time.Now()
+	for i := 0; i < e.Cfg.Queries; i++ {
+		q, _ := gen.Next()
+		out, err := sys.Engine.Execute(q)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: query %d: %w", i, err)
+		}
+		res.All.Add(out.Breakdown)
+		if out.CompleteHit {
+			res.CompleteHits++
+			res.Hits.Add(out.Breakdown)
+		}
+		if out.BudgetExceeded {
+			res.BudgetMisses++
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, sys, nil
+}
+
+// Fig7And8 runs the replacement-policy comparison: the two-level policy
+// (with preloading) against the plain benefit policy, both under VCMC, over
+// the configured cache sizes. It regenerates Figure 7 (complete-hit ratios)
+// and Figure 8 (average execution times).
+func Fig7And8(e *Env) (*Report, *Report, error) {
+	f7 := &Report{ID: "fig7", Title: "Complete hit ratios vs cache size (two-level vs benefit policy)",
+		Header: []string{"cache", "two-level %hits", "benefit %hits"}}
+	f8 := &Report{ID: "fig8", Title: "Average execution times vs cache size (two-level vs benefit policy)",
+		Header: []string{"cache", "two-level avg ms", "benefit avg ms"}}
+	for _, bytes := range e.CacheSizes() {
+		two, err := e.RunStream(SystemSpec{Strategy: StratVCMC, Policy: PolicyTwoLevel, Bytes: bytes, Preload: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		ben, err := e.RunStream(SystemSpec{Strategy: StratVCMC, Policy: PolicyBenefit, Bytes: bytes})
+		if err != nil {
+			return nil, nil, err
+		}
+		label := SizeLabel(bytes)
+		f7.AddRow(label, fmt.Sprintf("%.0f", two.HitRatio()), fmt.Sprintf("%.0f", ben.HitRatio()))
+		f8.AddRow(label, msString(two.AvgAll()), msString(ben.AvgAll()))
+	}
+	f7.Addf("paper shape: the two-level policy dominates, reaching 100%% once the base table fits")
+	return f7, f8, nil
+}
+
+// Fig9 compares caching schemes: no aggregation (benefit policy), ESM and
+// VCMC (both with the two-level policy) over the cache sizes — the paper's
+// Figure 9.
+func Fig9(e *Env) (*Report, error) {
+	r := &Report{ID: "fig9", Title: "Average execution times: NoAgg vs ESM vs VCMC",
+		Header: []string{"cache", "NoAgg avg ms", "ESM avg ms", "VCMC avg ms", "NoAgg %hits", "ESM %hits", "VCMC %hits", "ESM budget misses"}}
+	for _, bytes := range e.CacheSizes() {
+		noagg, err := e.RunStream(SystemSpec{Strategy: StratNoAgg, Policy: PolicyBenefit, Bytes: bytes})
+		if err != nil {
+			return nil, err
+		}
+		esm, err := e.RunStream(SystemSpec{Strategy: StratESM, Policy: PolicyTwoLevel, Bytes: bytes, Preload: true, Budget: e.Cfg.LookupBudget})
+		if err != nil {
+			return nil, err
+		}
+		vcmc, err := e.RunStream(SystemSpec{Strategy: StratVCMC, Policy: PolicyTwoLevel, Bytes: bytes, Preload: true})
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(SizeLabel(bytes),
+			msString(noagg.AvgAll()), msString(esm.AvgAll()), msString(vcmc.AvgAll()),
+			fmt.Sprintf("%.0f", noagg.HitRatio()), fmt.Sprintf("%.0f", esm.HitRatio()), fmt.Sprintf("%.0f", vcmc.HitRatio()),
+			fmt.Sprintf("%d", esm.BudgetMisses))
+	}
+	r.Addf("paper shape: both aggregation schemes beat NoAgg by a wide margin; VCMC ≤ ESM")
+	return r, nil
+}
+
+// Fig10AndTable4 regenerates Figure 10 (time breakup of complete-hit
+// queries, ESM vs VCMC) and Table 4 (complete-hit percentage and the VCMC
+// over ESM speedup on complete hits).
+func Fig10AndTable4(e *Env) (*Report, *Report, error) {
+	f10 := &Report{ID: "fig10", Title: "Time breakup for complete-hit queries (ESM | VCMC), ms",
+		Header: []string{"cache", "ESM lookup", "ESM agg", "ESM update", "VCMC lookup", "VCMC agg", "VCMC update"}}
+	t4 := &Report{ID: "table4", Title: "Speedup of VCMC over ESM on complete hits",
+		Header: []string{"metric"}}
+	type row struct {
+		hits    float64
+		speedup float64
+	}
+	var rows []row
+	var labels []string
+	for _, bytes := range e.CacheSizes() {
+		esm, err := e.RunStream(SystemSpec{Strategy: StratESM, Policy: PolicyTwoLevel, Bytes: bytes, Preload: true, Budget: e.Cfg.LookupBudget})
+		if err != nil {
+			return nil, nil, err
+		}
+		vcmc, err := e.RunStream(SystemSpec{Strategy: StratVCMC, Policy: PolicyTwoLevel, Bytes: bytes, Preload: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		eh, vh := esm.AvgHits(), vcmc.AvgHits()
+		f10.AddRow(SizeLabel(bytes),
+			msString(eh.Lookup), msString(eh.Aggregate), msString(eh.Update),
+			msString(vh.Lookup), msString(vh.Aggregate), msString(vh.Update))
+		speedup := 0.0
+		if vt := vh.Total(); vt > 0 {
+			speedup = float64(eh.Total()) / float64(vt)
+		}
+		rows = append(rows, row{hits: vcmc.HitRatio(), speedup: speedup})
+		labels = append(labels, SizeLabel(bytes))
+	}
+	t4.Header = append(t4.Header, labels...)
+	hitsRow := []string{"% of complete hits"}
+	spRow := []string{"speedup (VCMC/ESM)"}
+	for _, r := range rows {
+		hitsRow = append(hitsRow, fmt.Sprintf("%.0f", r.hits))
+		spRow = append(spRow, fmt.Sprintf("%.2f", r.speedup))
+	}
+	t4.Rows = append(t4.Rows, hitsRow, spRow)
+	f10.Addf("paper shape: ESM lookup dominates at small caches and vanishes once the base table fits")
+	t4.Addf("paper: speedups 5.8 / 4.11 / 3.17 / 1.11 for 10–25MB")
+	return f10, t4, nil
+}
+
+// CostBypass exercises the §5.2 optimizer hook: against a backend holding
+// materialized aggregates, compare VCMC with and without the cost-based
+// cache/backend routing decision. Also tracks the StreamResult.Bypassed
+// counter through engine stats.
+func CostBypass(e *Env) (*Report, error) {
+	// A warehouse-style backend: materialize the greedy [HRU96] view
+	// selection (up to 16 views within a quarter of the base table's size).
+	be, err := backend.NewEngine(e.Grid, e.Table, e.Cfg.Latency)
+	if err != nil {
+		return nil, err
+	}
+	lat := e.Grid.Lattice()
+	sel, err := views.Greedy(e.Grid, e.Sizer, 16, e.BaseBytes()/4)
+	if err != nil {
+		return nil, err
+	}
+	if err := be.Materialize(sel.Views...); err != nil {
+		return nil, err
+	}
+	sizes := e.CacheSizes()
+	bytes := sizes[len(sizes)-1]
+	r := &Report{ID: "bypass", Title: fmt.Sprintf("Cost-based cache/backend routing (§5.2) — %d greedy [HRU96] views at the backend, cache %s",
+		len(sel.Views), SizeLabel(bytes)),
+		Header: []string{"variant", "%hits", "avg ms", "bypassed chunks"}}
+	r.Addf("materialized: %s", sel.Describe(lat))
+	for _, enabled := range []bool{false, true} {
+		spec := SystemSpec{
+			Strategy: StratVCMC, Policy: PolicyTwoLevel, Bytes: bytes, Preload: true,
+			Backend: be,
+			Options: core.Options{CostBypass: enabled},
+		}
+		res, sys, err := e.runStreamSys(spec)
+		if err != nil {
+			return nil, err
+		}
+		name := "VCMC (always aggregate in cache)"
+		if enabled {
+			name = "VCMC + cost bypass"
+		}
+		r.AddRow(name, fmt.Sprintf("%.0f", res.HitRatio()), msString(res.AvgAll()),
+			fmt.Sprintf("%d", sys.Engine.Stats().Bypassed))
+	}
+	r.Addf("the optimizer sends a chunk to the backend when the plan cost exceeds the backend's estimated scan (materialized views make that common)")
+	return r, nil
+}
+
+// Ablations quantifies the two-level policy's design choices (§6.3): group
+// reinforcement, preloading, and backend-priority admission, using VCMC at
+// the middle cache size.
+func Ablations(e *Env) (*Report, error) {
+	sizes := e.CacheSizes()
+	bytes := sizes[len(sizes)/2]
+	r := &Report{ID: "ablate", Title: fmt.Sprintf("Two-level policy ablations (VCMC, cache %s)", SizeLabel(bytes)),
+		Header: []string{"variant", "%hits", "avg ms"}}
+	variants := []struct {
+		name string
+		spec SystemSpec
+	}{
+		{"two-level (full)", SystemSpec{Strategy: StratVCMC, Policy: PolicyTwoLevel, Bytes: bytes, Preload: true}},
+		{"- reinforcement", SystemSpec{Strategy: StratVCMC, Policy: PolicyTwoLevel, Bytes: bytes, Preload: true, Options: core.Options{DisableReinforce: true}}},
+		{"- preload", SystemSpec{Strategy: StratVCMC, Policy: PolicyTwoLevel, Bytes: bytes}},
+		{"- admission (benefit rings)", SystemSpec{Strategy: StratVCMC, Policy: PolicyBenefit, Bytes: bytes, Preload: true}},
+		{"plain LRU baseline", SystemSpec{Strategy: StratVCMC, Policy: PolicyLRU, Bytes: bytes, Preload: true}},
+	}
+	for _, v := range variants {
+		res, err := e.RunStream(v.spec)
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(v.name, fmt.Sprintf("%.0f", res.HitRatio()), msString(res.AvgAll()))
+	}
+	return r, nil
+}

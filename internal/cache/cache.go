@@ -1,0 +1,270 @@
+// Package cache implements the middle tier's chunk cache (§2, §6 of the
+// paper): bounded-size storage of chunk payloads keyed by (group-by, chunk
+// number), with pluggable replacement policies — a benefit-weighted CLOCK
+// (the [DRSN98] baseline) and the paper's "two-level" policy that protects
+// backend-fetched chunks and reinforces groups of aggregatable chunks.
+package cache
+
+import (
+	"fmt"
+
+	"aggcache/internal/chunk"
+	"aggcache/internal/lattice"
+)
+
+// Key identifies a chunk of a group-by.
+type Key struct {
+	GB  lattice.ID
+	Num int32
+}
+
+// String formats the key for diagnostics.
+func (k Key) String() string { return fmt.Sprintf("%d/%d", k.GB, k.Num) }
+
+// Class distinguishes how a cached chunk was obtained; the two-level policy
+// gives backend chunks priority (§6.3).
+type Class uint8
+
+const (
+	// ClassBackend marks chunks computed at the backend database.
+	ClassBackend Class = iota
+	// ClassComputed marks chunks computed by aggregating cached chunks.
+	ClassComputed
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c == ClassBackend {
+		return "backend"
+	}
+	return "computed"
+}
+
+// Entry is one resident chunk. Entries are owned by the cache; callers must
+// not retain them across cache operations (retain Entry.Data instead).
+type Entry struct {
+	Key     Key
+	Data    *chunk.Chunk
+	Class   Class
+	Benefit float64 // recomputation cost in cost units; drives replacement
+
+	clock      float64
+	pins       int
+	next, prev *Entry // intrusive ring, owned by the policy
+	ringID     int8   // which policy ring holds the entry
+}
+
+// Bytes returns the entry's charged footprint.
+func (e *Entry) Bytes() int64 { return e.Data.Bytes() }
+
+// Pinned reports whether the entry is pinned (in use by an in-flight
+// aggregation) and therefore not evictable.
+func (e *Entry) Pinned() bool { return e.pins > 0 }
+
+// Listener observes insertions and evictions; the lookup strategies register
+// one to maintain virtual counts and costs.
+type Listener interface {
+	// OnInsert is called after the entry becomes resident.
+	OnInsert(e *Entry)
+	// OnEvict is called after the entry is removed.
+	OnEvict(e *Entry)
+}
+
+// Policy decides replacement order. Implementations own the entries'
+// intrusive list fields.
+type Policy interface {
+	// Name identifies the policy in experiment reports.
+	Name() string
+	// Added is called when an entry becomes resident.
+	Added(e *Entry)
+	// Removed is called when an entry leaves the cache.
+	Removed(e *Entry)
+	// Accessed is called on a cache hit.
+	Accessed(e *Entry)
+	// Reinforced is called when the entry participated in computing an
+	// aggregate with the given benefit (two-level policy, §6.3).
+	Reinforced(e *Entry, benefit float64)
+	// NextVictim returns the next unpinned entry to evict to make room for
+	// an incoming entry of class cl, or nil to deny admission.
+	NextVictim(cl Class) *Entry
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits, Misses       int64
+	Inserts, Evictions int64
+	Denied             int64 // admissions denied by the policy
+}
+
+// Cache is a bounded chunk cache. It is not safe for concurrent use; the
+// query engine serializes access.
+type Cache struct {
+	capacity int64
+	used     int64
+	entries  map[Key]*Entry
+	policy   Policy
+	listener Listener
+	stats    Stats
+}
+
+// New creates a cache bounded to capacity bytes using the given replacement
+// policy.
+func New(capacity int64, policy Policy) (*Cache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cache: capacity must be positive, got %d", capacity)
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("cache: policy must not be nil")
+	}
+	return &Cache{capacity: capacity, entries: make(map[Key]*Entry), policy: policy}, nil
+}
+
+// SetListener registers the strategy callback; pass nil to clear.
+func (c *Cache) SetListener(l Listener) { c.listener = l }
+
+// Capacity returns the byte bound.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Used returns the bytes currently charged.
+func (c *Cache) Used() int64 { return c.used }
+
+// Len returns the number of resident chunks.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Policy returns the replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Contains reports residence without touching replacement state; lookup
+// strategies probe with it.
+func (c *Cache) Contains(k Key) bool {
+	_, ok := c.entries[k]
+	return ok
+}
+
+// Get returns the chunk payload for k, updating replacement state on a hit.
+func (c *Cache) Get(k Key) (*chunk.Chunk, bool) {
+	e, ok := c.entries[k]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.policy.Accessed(e)
+	return e.Data, true
+}
+
+// Peek returns the chunk payload without touching replacement state or
+// hit/miss counters.
+func (c *Cache) Peek(k Key) (*chunk.Chunk, bool) {
+	e, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	return e.Data, true
+}
+
+// Insert makes data resident under k with the given class and benefit,
+// evicting per the policy as needed. It reports whether the chunk was
+// admitted. Re-inserting a resident key refreshes its class/benefit and
+// counts as an access. A chunk larger than the whole cache is not admitted.
+func (c *Cache) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool {
+	if e, ok := c.entries[k]; ok {
+		e.Class = cl
+		e.Benefit = benefit
+		c.policy.Accessed(e)
+		return true
+	}
+	need := data.Bytes()
+	if need > c.capacity {
+		c.stats.Denied++
+		return false
+	}
+	for c.used+need > c.capacity {
+		v := c.policy.NextVictim(cl)
+		if v == nil {
+			c.stats.Denied++
+			return false
+		}
+		c.remove(v, true)
+	}
+	e := &Entry{Key: k, Data: data, Class: cl, Benefit: benefit}
+	c.entries[k] = e
+	c.used += need
+	c.stats.Inserts++
+	c.policy.Added(e)
+	if c.listener != nil {
+		c.listener.OnInsert(e)
+	}
+	return true
+}
+
+// Evict removes k if resident; used by tests and administrative tooling.
+func (c *Cache) Evict(k Key) bool {
+	e, ok := c.entries[k]
+	if !ok {
+		return false
+	}
+	c.remove(e, true)
+	return true
+}
+
+func (c *Cache) remove(e *Entry, notify bool) {
+	delete(c.entries, e.Key)
+	c.used -= e.Bytes()
+	c.stats.Evictions++
+	c.policy.Removed(e)
+	if notify && c.listener != nil {
+		c.listener.OnEvict(e)
+	}
+}
+
+// Pin marks k in use so the policy will not evict it; it must be balanced by
+// Unpin. Pinning a non-resident key returns false.
+func (c *Cache) Pin(k Key) bool {
+	e, ok := c.entries[k]
+	if !ok {
+		return false
+	}
+	e.pins++
+	return true
+}
+
+// Unpin releases one pin on k.
+func (c *Cache) Unpin(k Key) {
+	if e, ok := c.entries[k]; ok && e.pins > 0 {
+		e.pins--
+	}
+}
+
+// Reinforce bumps the replacement weight of every listed resident chunk by
+// benefit — the two-level policy's group maintenance (§6.3: "whenever a
+// group of chunks is used to compute another chunk, the clock value of all
+// the chunks in the group is incremented by ... the benefit of the
+// aggregated chunk").
+func (c *Cache) Reinforce(keys []Key, benefit float64) {
+	for _, k := range keys {
+		if e, ok := c.entries[k]; ok {
+			c.policy.Reinforced(e, benefit)
+		}
+	}
+}
+
+// Keys appends all resident keys to dst; order is unspecified.
+func (c *Cache) Keys(dst []Key) []Key {
+	for k := range c.entries {
+		dst = append(dst, k)
+	}
+	return dst
+}
+
+// Range calls fn for every resident entry (order unspecified) with the
+// entry's payload, class and benefit; used for snapshots and diagnostics.
+// fn must not mutate the cache.
+func (c *Cache) Range(fn func(k Key, data *chunk.Chunk, cl Class, benefit float64)) {
+	for k, e := range c.entries {
+		fn(k, e.Data, e.Class, e.Benefit)
+	}
+}

@@ -1,0 +1,312 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aggcache/internal/chunk"
+)
+
+// mkChunk builds a payload with n cells for key identity (gb, num).
+func mkChunk(gb, num, n int) *chunk.Chunk {
+	c := &chunk.Chunk{GB: 0, Num: int32(num)}
+	for i := 0; i < n; i++ {
+		c.Keys = append(c.Keys, uint64(i))
+		c.Vals = append(c.Vals, 1)
+	}
+	return c
+}
+
+func key(num int) Key { return Key{GB: 0, Num: int32(num)} }
+
+type recordingListener struct {
+	inserted, evicted []Key
+}
+
+func (r *recordingListener) OnInsert(e *Entry) { r.inserted = append(r.inserted, e.Key) }
+func (r *recordingListener) OnEvict(e *Entry)  { r.evicted = append(r.evicted, e.Key) }
+
+func TestCacheBasics(t *testing.T) {
+	c, err := New(10_000, NewBenefitClock())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if !c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 100) {
+		t.Fatalf("insert denied")
+	}
+	if !c.Contains(key(1)) {
+		t.Fatalf("Contains(1) = false")
+	}
+	if d, ok := c.Get(key(1)); !ok || d.Cells() != 10 {
+		t.Fatalf("Get(1) = %v,%v", d, ok)
+	}
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatalf("Get(2) should miss")
+	}
+	if d, ok := c.Peek(key(1)); !ok || d.Cells() != 10 {
+		t.Fatalf("Peek(1) = %v,%v", d, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Inserts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	wantUsed := mkChunk(0, 1, 10).Bytes()
+	if c.Used() != wantUsed {
+		t.Fatalf("Used = %d, want %d", c.Used(), wantUsed)
+	}
+	if !c.Evict(key(1)) || c.Len() != 0 || c.Used() != 0 {
+		t.Fatalf("Evict failed: len=%d used=%d", c.Len(), c.Used())
+	}
+	if c.Evict(key(1)) {
+		t.Fatalf("double Evict should return false")
+	}
+}
+
+func TestCacheErrors(t *testing.T) {
+	if _, err := New(0, NewBenefitClock()); err == nil {
+		t.Errorf("capacity 0: expected error")
+	}
+	if _, err := New(100, nil); err == nil {
+		t.Errorf("nil policy: expected error")
+	}
+}
+
+func TestCacheEvictsWhenFull(t *testing.T) {
+	// Each 10-cell chunk is 10*24+64 = 304 bytes; room for 2.
+	c, _ := New(700, NewBenefitClock())
+	l := &recordingListener{}
+	c.SetListener(l)
+	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1)
+	c.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 1)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if !c.Insert(key(3), mkChunk(0, 3, 10), ClassBackend, 1) {
+		t.Fatalf("third insert denied")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("after eviction Len = %d, want 2", c.Len())
+	}
+	if len(l.inserted) != 3 || len(l.evicted) != 1 {
+		t.Fatalf("listener saw %d inserts, %d evicts", len(l.inserted), len(l.evicted))
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestCacheOversizedChunkDenied(t *testing.T) {
+	c, _ := New(100, NewBenefitClock())
+	if c.Insert(key(1), mkChunk(0, 1, 100), ClassBackend, 1) {
+		t.Fatalf("oversized chunk admitted")
+	}
+	if c.Stats().Denied != 1 {
+		t.Fatalf("Denied = %d", c.Stats().Denied)
+	}
+}
+
+func TestCacheReinsertRefreshes(t *testing.T) {
+	c, _ := New(10_000, NewBenefitClock())
+	c.Insert(key(1), mkChunk(0, 1, 10), ClassComputed, 1)
+	if !c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 50) {
+		t.Fatalf("reinsert denied")
+	}
+	if c.Len() != 1 || c.Stats().Inserts != 1 {
+		t.Fatalf("reinsert duplicated entry: len=%d inserts=%d", c.Len(), c.Stats().Inserts)
+	}
+}
+
+func TestCachePinPreventsEviction(t *testing.T) {
+	c, _ := New(700, NewBenefitClock())
+	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1)
+	c.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 1)
+	if !c.Pin(key(1)) || !c.Pin(key(2)) {
+		t.Fatalf("Pin failed")
+	}
+	if c.Insert(key(3), mkChunk(0, 3, 10), ClassBackend, 1) {
+		t.Fatalf("insert admitted with everything pinned")
+	}
+	c.Unpin(key(1))
+	if !c.Insert(key(3), mkChunk(0, 3, 10), ClassBackend, 1) {
+		t.Fatalf("insert denied after unpin")
+	}
+	if !c.Contains(key(2)) {
+		t.Fatalf("pinned chunk was evicted")
+	}
+	if c.Contains(key(1)) {
+		t.Fatalf("unpinned chunk should have been the victim")
+	}
+	if c.Pin(key(99)) {
+		t.Fatalf("pinning a missing key should fail")
+	}
+	c.Unpin(key(99)) // no-op, must not panic
+}
+
+func TestBenefitClockPrefersLowBenefit(t *testing.T) {
+	c, _ := New(700, NewBenefitClock())
+	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1e6) // expensive
+	c.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 1)   // cheap
+	c.Insert(key(3), mkChunk(0, 3, 10), ClassBackend, 1e6)
+	if !c.Contains(key(1)) || !c.Contains(key(3)) {
+		t.Fatalf("high-benefit chunks evicted before low-benefit one")
+	}
+	if c.Contains(key(2)) {
+		t.Fatalf("low-benefit chunk survived over high-benefit ones")
+	}
+}
+
+func TestTwoLevelAdmission(t *testing.T) {
+	// Room for 2 chunks.
+	c, _ := New(700, NewTwoLevel())
+	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 10)
+	c.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 10)
+	// A computed chunk may not displace backend chunks.
+	if c.Insert(key(3), mkChunk(0, 3, 10), ClassComputed, 1e9) {
+		t.Fatalf("computed chunk displaced backend chunks")
+	}
+	if c.Stats().Denied != 1 {
+		t.Fatalf("Denied = %d", c.Stats().Denied)
+	}
+	// A backend chunk can displace a computed chunk.
+	c2, _ := New(700, NewTwoLevel())
+	c2.Insert(key(1), mkChunk(0, 1, 10), ClassComputed, 1e9)
+	c2.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 1)
+	if !c2.Insert(key(3), mkChunk(0, 3, 10), ClassBackend, 1) {
+		t.Fatalf("backend insert denied")
+	}
+	if c2.Contains(key(1)) {
+		t.Fatalf("computed chunk should be displaced before backend chunks")
+	}
+	if !c2.Contains(key(2)) {
+		t.Fatalf("backend chunk was displaced while a computed chunk existed")
+	}
+}
+
+func TestTwoLevelBackendEvictsBackendWhenNoComputed(t *testing.T) {
+	c, _ := New(700, NewTwoLevel())
+	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1)
+	c.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 1)
+	if !c.Insert(key(3), mkChunk(0, 3, 10), ClassBackend, 1) {
+		t.Fatalf("backend insert denied with only backend chunks resident")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestTwoLevelReinforceKeepsGroup(t *testing.T) {
+	c, _ := New(700, NewTwoLevel())
+	c.Insert(key(1), mkChunk(0, 1, 10), ClassComputed, 1)
+	c.Insert(key(2), mkChunk(0, 2, 10), ClassComputed, 1)
+	// Reinforce chunk 1 heavily: it was used to compute an aggregate.
+	c.Reinforce([]Key{key(1), key(99)}, 1e9) // missing keys are ignored
+	if !c.Insert(key(3), mkChunk(0, 3, 10), ClassComputed, 1) {
+		t.Fatalf("insert denied")
+	}
+	if !c.Contains(key(1)) {
+		t.Fatalf("reinforced chunk was evicted")
+	}
+	if c.Contains(key(2)) {
+		t.Fatalf("non-reinforced chunk should have been the victim")
+	}
+}
+
+func TestClockWeight(t *testing.T) {
+	if w := clockWeight(-5); w != 1 {
+		t.Fatalf("clockWeight(-5) = %v", w)
+	}
+	if w := clockWeight(0); w != 1 {
+		t.Fatalf("clockWeight(0) = %v", w)
+	}
+	if w := clockWeight(1e30); w != maxClock {
+		t.Fatalf("clockWeight(1e30) = %v", w)
+	}
+	if clockWeight(100) <= clockWeight(10) {
+		t.Fatalf("clockWeight not monotone")
+	}
+}
+
+// TestCacheInvariantsProperty runs random operation sequences and checks the
+// byte accounting and capacity invariants throughout.
+func TestCacheInvariantsProperty(t *testing.T) {
+	f := func(seed int64, twoLevel bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var p Policy
+		if twoLevel {
+			p = NewTwoLevel()
+		} else {
+			p = NewBenefitClock()
+		}
+		c, _ := New(2_000, p)
+		resident := make(map[Key]int64)
+		l := &trackListener{resident: resident}
+		c.SetListener(l)
+		pinned := []Key{}
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				num := rng.Intn(30)
+				n := 1 + rng.Intn(20)
+				cl := Class(rng.Intn(2))
+				c.Insert(key(num), mkChunk(0, num, n), cl, float64(rng.Intn(1000)))
+			case 3:
+				num := rng.Intn(30)
+				if c.Pin(key(num)) {
+					pinned = append(pinned, key(num))
+				}
+			case 4:
+				if len(pinned) > 0 {
+					k := pinned[len(pinned)-1]
+					pinned = pinned[:len(pinned)-1]
+					c.Unpin(k)
+				}
+			}
+			// Invariants.
+			if c.Used() > c.Capacity() {
+				return false
+			}
+			var sum int64
+			for _, b := range resident {
+				sum += b
+			}
+			if sum != c.Used() || len(resident) != c.Len() {
+				return false
+			}
+		}
+		// Pinned entries must all still be resident.
+		for _, k := range pinned {
+			if !c.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type trackListener struct{ resident map[Key]int64 }
+
+func (l *trackListener) OnInsert(e *Entry) { l.resident[e.Key] = e.Bytes() }
+func (l *trackListener) OnEvict(e *Entry)  { delete(l.resident, e.Key) }
+
+func TestKeysAndClassString(t *testing.T) {
+	c, _ := New(10_000, NewBenefitClock())
+	c.Insert(key(1), mkChunk(0, 1, 1), ClassBackend, 1)
+	c.Insert(key(2), mkChunk(0, 2, 1), ClassComputed, 1)
+	ks := c.Keys(nil)
+	if len(ks) != 2 {
+		t.Fatalf("Keys = %v", ks)
+	}
+	if ClassBackend.String() != "backend" || ClassComputed.String() != "computed" {
+		t.Fatalf("Class.String broken")
+	}
+	if key(1).String() != "0/1" {
+		t.Fatalf("Key.String = %q", key(1).String())
+	}
+}

@@ -1,0 +1,323 @@
+package chunk
+
+import (
+	"fmt"
+	"sort"
+
+	"aggcache/internal/lattice"
+)
+
+// Chunk is the materialized payload of one chunk of one group-by: a sparse,
+// key-sorted set of cells. Cell keys are row-major member offsets within the
+// chunk (see Grid.ChunkOfCell). Each cell carries the measure's SUM and the
+// contributing fact-row COUNT; both are distributive, so any roll-up of
+// chunks can serve SUM, COUNT and AVG queries. A Chunk is immutable once
+// built.
+type Chunk struct {
+	GB     lattice.ID
+	Num    int32
+	Keys   []uint64
+	Vals   []float64
+	Counts []int64
+}
+
+// CellBytes is the in-memory footprint charged per cell: an 8-byte key, an
+// 8-byte sum and an 8-byte count — close to the paper's 20-byte fact tuples.
+const CellBytes = 24
+
+// OverheadBytes is the fixed per-chunk footprint charged by the cache.
+const OverheadBytes = 64
+
+// Cells returns the number of materialized cells.
+func (c *Chunk) Cells() int { return len(c.Keys) }
+
+// Bytes returns the cache footprint of the chunk.
+func (c *Chunk) Bytes() int64 { return int64(len(c.Keys))*CellBytes + OverheadBytes }
+
+// Value returns the measure sum of the cell with the given key.
+func (c *Chunk) Value(key uint64) (float64, bool) {
+	i := c.find(key)
+	if i < 0 {
+		return 0, false
+	}
+	return c.Vals[i], true
+}
+
+// Cell returns the sum and fact-row count of the cell with the given key.
+func (c *Chunk) Cell(key uint64) (sum float64, count int64, ok bool) {
+	i := c.find(key)
+	if i < 0 {
+		return 0, 0, false
+	}
+	return c.Vals[i], c.Counts[i], true
+}
+
+func (c *Chunk) find(key uint64) int {
+	i := sort.Search(len(c.Keys), func(i int) bool { return c.Keys[i] >= key })
+	if i < len(c.Keys) && c.Keys[i] == key {
+		return i
+	}
+	return -1
+}
+
+// Rows returns the total fact-row count across the chunk's cells;
+// invariant under roll-up, like Total.
+func (c *Chunk) Rows() int64 {
+	var n int64
+	for _, v := range c.Counts {
+		n += v
+	}
+	return n
+}
+
+// Total returns the sum of all cell values; useful as an aggregation
+// invariant (roll-ups preserve totals).
+func (c *Chunk) Total() float64 {
+	t := 0.0
+	for _, v := range c.Vals {
+		t += v
+	}
+	return t
+}
+
+// String summarizes the chunk for diagnostics.
+func (c *Chunk) String() string {
+	return fmt.Sprintf("chunk{gb=%d num=%d cells=%d}", c.GB, c.Num, len(c.Keys))
+}
+
+// denseLimit is the largest chunk capacity for which the accumulator uses a
+// dense array (8 bytes/slot → at most 512 KiB transient) instead of a hash
+// map. Aggregated chunks — the hot aggregation targets — are far below it.
+const denseLimit = 1 << 16
+
+// CellMap accumulates cells for one chunk under construction. Adding the
+// same key twice sums the values — the aggregation primitive. Accumulators
+// created with Grid.NewCellMap for small-capacity chunks use a dense array
+// (≈20× faster per tuple than hashing); others fall back to a map.
+type CellMap struct {
+	m      map[uint64]cellAgg
+	dense  []float64
+	denseN []int64
+	occ    []uint64 // occupancy bitmap for dense mode
+	n      int
+}
+
+type cellAgg struct {
+	sum   float64
+	count int64
+}
+
+// NewCellMap returns an empty sparse accumulator.
+func NewCellMap() *CellMap { return &CellMap{m: make(map[uint64]cellAgg)} }
+
+// NewCellMap returns an accumulator for chunk num of group-by gb, dense when
+// the chunk's cell capacity permits.
+func (g *Grid) NewCellMap(gb lattice.ID, num int) *CellMap {
+	cap := g.CellCapacity(gb, num)
+	if cap <= denseLimit {
+		return &CellMap{
+			dense:  make([]float64, cap),
+			denseN: make([]int64, cap),
+			occ:    make([]uint64, (cap+63)/64),
+		}
+	}
+	return NewCellMap()
+}
+
+// Add accumulates one fact row's value into the cell with the given key.
+func (cm *CellMap) Add(key uint64, v float64) { cm.AddCell(key, v, 1) }
+
+// AddCell accumulates an already-aggregated cell (sum over count fact rows)
+// into the cell with the given key — the roll-up primitive.
+func (cm *CellMap) AddCell(key uint64, sum float64, count int64) {
+	if cm.dense != nil {
+		if cm.occ[key/64]&(1<<(key%64)) == 0 {
+			cm.occ[key/64] |= 1 << (key % 64)
+			cm.n++
+		}
+		cm.dense[key] += sum
+		cm.denseN[key] += count
+		return
+	}
+	a := cm.m[key]
+	a.sum += sum
+	a.count += count
+	cm.m[key] = a
+}
+
+// Len returns the number of distinct cells accumulated.
+func (cm *CellMap) Len() int {
+	if cm.dense != nil {
+		return cm.n
+	}
+	return len(cm.m)
+}
+
+// Reset clears the accumulator for reuse.
+func (cm *CellMap) Reset() {
+	if cm.dense != nil {
+		for i, w := range cm.occ {
+			if w == 0 {
+				continue
+			}
+			base := i * 64
+			for b := 0; b < 64; b++ {
+				if w&(1<<b) != 0 {
+					cm.dense[base+b] = 0
+					cm.denseN[base+b] = 0
+				}
+			}
+			cm.occ[i] = 0
+		}
+		cm.n = 0
+		return
+	}
+	clear(cm.m)
+}
+
+// Build sorts the accumulated cells into an immutable Chunk for chunk num of
+// group-by gb.
+func (cm *CellMap) Build(gb lattice.ID, num int) *Chunk {
+	if cm.dense != nil {
+		c := &Chunk{
+			GB: gb, Num: int32(num),
+			Keys:   make([]uint64, 0, cm.n),
+			Vals:   make([]float64, 0, cm.n),
+			Counts: make([]int64, 0, cm.n),
+		}
+		for i, w := range cm.occ {
+			if w == 0 {
+				continue
+			}
+			base := uint64(i) * 64
+			for b := uint64(0); b < 64; b++ {
+				if w&(1<<b) != 0 {
+					c.Keys = append(c.Keys, base+b)
+					c.Vals = append(c.Vals, cm.dense[base+b])
+					c.Counts = append(c.Counts, cm.denseN[base+b])
+				}
+			}
+		}
+		return c
+	}
+	c := &Chunk{
+		GB: gb, Num: int32(num),
+		Keys:   make([]uint64, 0, len(cm.m)),
+		Vals:   make([]float64, len(cm.m)),
+		Counts: make([]int64, len(cm.m)),
+	}
+	for k := range cm.m {
+		c.Keys = append(c.Keys, k)
+	}
+	sort.Slice(c.Keys, func(i, j int) bool { return c.Keys[i] < c.Keys[j] })
+	for i, k := range c.Keys {
+		c.Vals[i] = cm.m[k].sum
+		c.Counts[i] = cm.m[k].count
+	}
+	return c
+}
+
+// rollUpMapper caches per-dimension offset translation tables for rolling a
+// source chunk's cells up into a destination chunk.
+type rollUpMapper struct {
+	srcSpans   []uint64  // per-dim member spans of the source chunk
+	dstStrides []uint64  // per-dim row-major strides in the destination chunk
+	tables     [][]int64 // tables[d][srcOff] = dst offset
+}
+
+// RollUpInto aggregates every cell of src into dst, translating cell keys
+// from the source chunk's coordinate space to the destination chunk at
+// (dstGB, dstNum). The source group-by must be an ancestor (componentwise ≥)
+// of dstGB and the source chunk must lie inside the destination chunk's
+// region. It returns the number of cells scanned.
+func (g *Grid) RollUpInto(dst *CellMap, dstGB lattice.ID, dstNum int, src *Chunk) (int, error) {
+	m, err := g.rollUpMapperFor(dstGB, dstNum, src.GB, int(src.Num))
+	if err != nil {
+		return 0, err
+	}
+	nd := len(m.tables)
+	for i, key := range src.Keys {
+		dk := uint64(0)
+		// Decode src key most-significant dimension first by repeated
+		// div/mod from the least significant end.
+		k := key
+		for d := nd - 1; d >= 0; d-- {
+			off := k % m.srcSpans[d]
+			k /= m.srcSpans[d]
+			dk += uint64(m.tables[d][off]) * m.dstStrides[d]
+		}
+		count := int64(1)
+		if src.Counts != nil {
+			count = src.Counts[i]
+		}
+		dst.AddCell(dk, src.Vals[i], count)
+	}
+	return len(src.Keys), nil
+}
+
+func (g *Grid) rollUpMapperFor(dstGB lattice.ID, dstNum int, srcGB lattice.ID, srcNum int) (*rollUpMapper, error) {
+	if !g.lat.ComputableFrom(dstGB, srcGB) {
+		return nil, fmt.Errorf("chunk: group-by %s is not computable from %s",
+			g.lat.LevelTupleString(dstGB), g.lat.LevelTupleString(srcGB))
+	}
+	if g.DescendantChunk(srcGB, srcNum, dstGB) != dstNum {
+		return nil, fmt.Errorf("chunk: source chunk %d of %s does not fall in chunk %d of %s",
+			srcNum, g.lat.LevelTupleString(srcGB), dstNum, g.lat.LevelTupleString(dstGB))
+	}
+	nd := g.sch.NumDims()
+	var sbuf, dbuf [16]int32
+	srcCoords := g.Coords(srcGB, srcNum, sbuf[:0])
+	dstCoords := g.Coords(dstGB, dstNum, dbuf[:0])
+	m := &rollUpMapper{
+		srcSpans:   make([]uint64, nd),
+		dstStrides: make([]uint64, nd),
+		tables:     make([][]int64, nd),
+	}
+	dstSpans := make([]uint64, nd)
+	for d := 0; d < nd; d++ {
+		sl, dl := g.lat.LevelAt(srcGB, d), g.lat.LevelAt(dstGB, d)
+		sr := g.MemberRange(d, sl, srcCoords[d])
+		dr := g.MemberRange(d, dl, dstCoords[d])
+		m.srcSpans[d] = uint64(sr.Hi - sr.Lo)
+		dstSpans[d] = uint64(dr.Hi - dr.Lo)
+		tab := make([]int64, sr.Hi-sr.Lo)
+		dim := g.sch.Dim(d)
+		for off := range tab {
+			anc := dim.Ancestor(sl, dl, sr.Lo+int32(off))
+			tab[off] = int64(anc - dr.Lo)
+		}
+		m.tables[d] = tab
+	}
+	stride := uint64(1)
+	for d := nd - 1; d >= 0; d-- {
+		m.dstStrides[d] = stride
+		stride *= dstSpans[d]
+	}
+	return m, nil
+}
+
+// Slice returns the cells of c whose members fall inside the given absolute
+// member ranges (one Range per dimension, at c's group-by levels). It is
+// used to trim chunk-aligned answers to the exact query region.
+func (g *Grid) Slice(c *Chunk, ranges []Range) *Chunk {
+	out := &Chunk{GB: c.GB, Num: c.Num}
+	var mbuf [16]int32
+	for i, key := range c.Keys {
+		members := g.CellMembers(c.GB, int(c.Num), key, mbuf[:0])
+		in := true
+		for d, r := range ranges {
+			if members[d] < r.Lo || members[d] >= r.Hi {
+				in = false
+				break
+			}
+		}
+		if in {
+			out.Keys = append(out.Keys, key)
+			out.Vals = append(out.Vals, c.Vals[i])
+			if c.Counts != nil {
+				out.Counts = append(out.Counts, c.Counts[i])
+			}
+		}
+	}
+	return out
+}

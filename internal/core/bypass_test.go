@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"aggcache/internal/apb"
+	"aggcache/internal/backend"
+	"aggcache/internal/cache"
+	"aggcache/internal/sizer"
+	"aggcache/internal/strategy"
+)
+
+// buildBypass wires an engine whose backend has a materialized aggregate, so
+// the §5.2 cost-based bypass has something cheaper to route to.
+func buildBypass(t *testing.T, enabled bool) (*fixture, *backend.Engine) {
+	t.Helper()
+	cfg := apb.New(apb.ScaleTiny)
+	g, tab, err := cfg.Build(77)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	be, err := backend.NewEngine(g, tab, backend.LatencyModel{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	lat := g.Lattice()
+	// Materialize the fully aggregated cube top's parent level: answering
+	// top-level queries at the backend becomes nearly free.
+	if err := be.Materialize(lat.MustID(0, 1, 0)); err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	sz := sizer.NewEstimate(g, int64(tab.Len()))
+	c, _ := cache.New(1<<20, cache.NewTwoLevel())
+	eng, err := New(g, c, strategy.NewVCMC(g, sz), be, sz, Options{
+		CostBypass: enabled,
+		// A tiny connect surcharge so long in-cache aggregations lose to the
+		// materialized backend.
+		ConnectCostUnits: 1,
+		BackendPenalty:   8,
+	})
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	return &fixture{grid: g, engine: eng, oracle: be}, be
+}
+
+func TestCostBypassRoutesToMaterializedBackend(t *testing.T) {
+	f, _ := buildBypass(t, true)
+	lat := f.grid.Lattice()
+	// Warm the cache with the base table: the top chunk becomes computable
+	// in-cache, but only by aggregating every base tuple.
+	if _, err := f.engine.Execute(WholeGroupBy(lat.Base())); err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	res, err := f.engine.Execute(WholeGroupBy(lat.Top()))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Bypassed == 0 {
+		t.Fatalf("expected the optimizer to bypass the cache (plan cost ≫ materialized backend)")
+	}
+	if res.CompleteHit {
+		t.Fatalf("bypassed chunk should count as a backend access")
+	}
+	// The answer is still correct.
+	assertMatchesOracle(t, f, WholeGroupBy(lat.Top()), res)
+	if f.engine.Stats().Bypassed == 0 {
+		t.Fatalf("Stats.Bypassed not counted")
+	}
+}
+
+func TestCostBypassOffStaysInCache(t *testing.T) {
+	f, _ := buildBypass(t, false)
+	lat := f.grid.Lattice()
+	if _, err := f.engine.Execute(WholeGroupBy(lat.Base())); err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	res, err := f.engine.Execute(WholeGroupBy(lat.Top()))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Bypassed != 0 || !res.CompleteHit {
+		t.Fatalf("bypass disabled but chunk went to the backend: %+v", res)
+	}
+}
+
+func TestCostBypassKeepsCheapPlansInCache(t *testing.T) {
+	f, _ := buildBypass(t, true)
+	lat := f.grid.Lattice()
+	// Cache a small aggregate level directly; queries one step up have
+	// cheap in-cache plans that must NOT be bypassed.
+	mid := lat.MustID(1, 1, 0)
+	if _, err := f.engine.Execute(WholeGroupBy(mid)); err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	res, err := f.engine.Execute(WholeGroupBy(lat.MustID(0, 1, 0)))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !res.CompleteHit {
+		t.Fatalf("cheap in-cache plan was bypassed: %+v", res)
+	}
+}

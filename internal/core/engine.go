@@ -1,0 +1,283 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"aggcache/internal/backend"
+	"aggcache/internal/cache"
+	"aggcache/internal/chunk"
+	"aggcache/internal/lattice"
+	"aggcache/internal/metrics"
+	"aggcache/internal/sizer"
+	"aggcache/internal/strategy"
+)
+
+// Options tunes the engine.
+type Options struct {
+	// BackendPenalty scales backend tuples into benefit cost units relative
+	// to in-cache aggregation — the paper measured backend computation to be
+	// about 8× slower (§7.1). Defaults to 8.
+	BackendPenalty float64
+	// ConnectCostUnits is the per-backend-request fixed benefit surcharge in
+	// cost units (tuples-equivalent). Defaults to 4000.
+	ConnectCostUnits float64
+	// InsertIntermediates also caches the interior chunks a plan
+	// materializes, not just the final one. Off by default (the paper caches
+	// the newly computed chunk).
+	InsertIntermediates bool
+	// DisableReinforce turns off group reinforcement (§6.3 second bullet);
+	// used by the ablation experiments.
+	DisableReinforce bool
+	// CostBypass enables the cost-based optimizer hook of §5.2: when a plan
+	// carries an in-cache aggregation cost (VCMC and ESMC plans do) that
+	// exceeds the backend's estimated cost in the same units, the chunk is
+	// fetched from the backend instead. Useful when the backend holds
+	// materialized aggregates (backend.Engine.Materialize) that make it
+	// cheaper than a long in-cache aggregation.
+	CostBypass bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.BackendPenalty <= 0 {
+		o.BackendPenalty = 8
+	}
+	if o.ConnectCostUnits <= 0 {
+		o.ConnectCostUnits = 4000
+	}
+	return o
+}
+
+// Stats accumulates engine activity across queries.
+type Stats struct {
+	Queries        int64
+	CompleteHits   int64
+	BackendQueries int64
+	BackendTuples  int64
+	AggTuples      int64
+	BudgetMisses   int64
+	Bypassed       int64
+	Breakdown      metrics.Breakdown
+}
+
+// Engine is the aggregate aware cache manager. It is safe for concurrent
+// use; queries are serialized.
+type Engine struct {
+	mu    sync.Mutex
+	grid  *chunk.Grid
+	lat   *lattice.Lattice
+	cache *cache.Cache
+	strat strategy.Strategy
+	back  backend.Backend
+	sizes sizer.Sizer
+	opts  Options
+	stats Stats
+}
+
+// New wires a cache, a lookup strategy and a backend into an engine. The
+// strategy is registered as the cache's listener; the cache must be empty
+// (or have been populated through the same strategy).
+func New(g *chunk.Grid, c *cache.Cache, s strategy.Strategy, b backend.Backend, sizes sizer.Sizer, opts Options) (*Engine, error) {
+	if g == nil || c == nil || s == nil || b == nil || sizes == nil {
+		return nil, errors.New("core: all of grid, cache, strategy, backend and sizer are required")
+	}
+	c.SetListener(s)
+	return &Engine{
+		grid:  g,
+		lat:   g.Lattice(),
+		cache: c,
+		strat: s,
+		back:  b,
+		sizes: sizes,
+		opts:  opts.withDefaults(),
+	}, nil
+}
+
+// Grid returns the engine's chunk grid.
+func (e *Engine) Grid() *chunk.Grid { return e.grid }
+
+// Cache returns the underlying cache (for inspection; treat as read-only).
+func (e *Engine) Cache() *cache.Cache { return e.cache }
+
+// Strategy returns the lookup strategy.
+func (e *Engine) Strategy() strategy.Strategy { return e.strat }
+
+// Stats returns a copy of the cumulative counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Execute answers one query: probe the cache per chunk, batch the misses to
+// the backend, aggregate the computable chunks in the cache, and assemble
+// the answer.
+func (e *Engine) Execute(q Query) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	nq, err := q.normalize(e.grid)
+	if err != nil {
+		return nil, err
+	}
+	nums := nq.chunkNumbers(e.grid)
+	res := &Result{Query: nq, Chunks: make([]*chunk.Chunk, len(nums))}
+
+	// Phase 1 — lookup: one strategy probe per chunk (the paper's cache
+	// lookup problem).
+	type planned struct {
+		idx  int
+		plan *strategy.Plan
+	}
+	var plans []planned
+	var missing []int
+	var missingIdx []int
+	lookupStart := time.Now()
+	for i, num := range nums {
+		plan, found, err := e.strat.Find(nq.GB, num)
+		switch {
+		case errors.Is(err, strategy.ErrBudget):
+			res.BudgetExceeded = true
+			e.stats.BudgetMisses++
+			found = false
+		case err != nil:
+			return nil, fmt.Errorf("core: lookup: %w", err)
+		}
+		if found && e.opts.CostBypass && plan.Cost > int64(e.opts.ConnectCostUnits) {
+			// §5.2 optimizer: only worth a backend estimate when the plan is
+			// at least as expensive as a backend round trip.
+			est, eerr := e.back.EstimateScan(nq.GB, []int{num})
+			if eerr == nil && float64(plan.Cost) > float64(est)*e.opts.BackendPenalty+e.opts.ConnectCostUnits {
+				found = false
+				res.Bypassed++
+				e.stats.Bypassed++
+			}
+		}
+		if found {
+			plans = append(plans, planned{idx: i, plan: plan})
+		} else {
+			missing = append(missing, num)
+			missingIdx = append(missingIdx, i)
+		}
+	}
+	res.Breakdown.Lookup = time.Since(lookupStart)
+	res.HitChunks = len(plans)
+	res.MissChunks = len(missing)
+	res.CompleteHit = len(missing) == 0
+
+	// Pin every plan leaf so backend insertions and intermediate results
+	// cannot evict an input before we aggregate it.
+	var pinned []cache.Key
+	for _, p := range plans {
+		pinned = p.plan.Leaves(pinned)
+	}
+	for _, k := range pinned {
+		e.cache.Pin(k)
+	}
+	defer func() {
+		for _, k := range pinned {
+			e.cache.Unpin(k)
+		}
+	}()
+
+	// Phase 2 — backend: a single batched request for all missing chunks
+	// (the paper issues one SQL statement for the missing chunk numbers).
+	maintBefore := e.strat.Maintenance()
+	if len(missing) > 0 {
+		chunks, bstats, err := e.back.ComputeChunks(nq.GB, missing)
+		if err != nil {
+			return nil, fmt.Errorf("core: backend: %w", err)
+		}
+		res.Breakdown.Backend = bstats.Cost()
+		res.BackendTuples = bstats.TuplesScanned
+		e.stats.BackendQueries++
+		e.stats.BackendTuples += bstats.TuplesScanned
+		benefit := (float64(bstats.TuplesScanned)*e.opts.BackendPenalty + e.opts.ConnectCostUnits) / float64(len(missing))
+		for i, c := range chunks {
+			res.Chunks[missingIdx[i]] = c
+			e.cache.Insert(cache.Key{GB: nq.GB, Num: int32(missing[i])}, c, cache.ClassBackend, benefit)
+		}
+	}
+
+	// Phase 3 — aggregate computable chunks in the cache.
+	maintMid := e.strat.Maintenance()
+	aggStart := time.Now()
+	for _, p := range plans {
+		data, tuples, err := e.materialize(p.plan)
+		if err != nil {
+			return nil, err
+		}
+		res.Chunks[p.idx] = data
+		res.AggregatedTuples += tuples
+		if !p.plan.Present {
+			benefit := float64(tuples)
+			e.cache.Insert(cache.Key{GB: nq.GB, Num: int32(p.plan.Num)}, data, cache.ClassComputed, benefit)
+			if !e.opts.DisableReinforce {
+				e.cache.Reinforce(p.plan.Leaves(nil), benefit)
+			}
+		}
+	}
+	agg := time.Since(aggStart)
+
+	// Maintenance time was spent inside cache.Insert listener callbacks
+	// during phases 2–3; attribute all of it to the update component and
+	// keep the aggregation timer clean of the share incurred in phase 3.
+	maintEnd := e.strat.Maintenance()
+	res.Breakdown.Update = maintEnd.Sub(maintBefore).Time
+	if phase3 := maintEnd.Sub(maintMid).Time; agg > phase3 {
+		agg -= phase3
+	} else {
+		agg = 0
+	}
+	res.Breakdown.Aggregate = agg
+
+	// Trim to exact member bounds if the front end asked for them.
+	if nq.MemberRanges != nil {
+		for i, c := range res.Chunks {
+			res.Chunks[i] = e.grid.Slice(c, nq.MemberRanges)
+		}
+	}
+
+	e.stats.Queries++
+	if res.CompleteHit {
+		e.stats.CompleteHits++
+	}
+	e.stats.AggTuples += res.AggregatedTuples
+	e.stats.Breakdown.Add(res.Breakdown)
+	return res, nil
+}
+
+// materialize executes a plan bottom-up, returning the chunk payload and
+// the number of tuples scanned by aggregation.
+func (e *Engine) materialize(p *strategy.Plan) (*chunk.Chunk, int64, error) {
+	k := cache.Key{GB: p.GB, Num: int32(p.Num)}
+	if p.Present {
+		data, ok := e.cache.Get(k)
+		if !ok {
+			// Pinning makes this unreachable; fail loudly if it ever breaks.
+			return nil, 0, fmt.Errorf("core: plan leaf %v vanished from the cache", k)
+		}
+		return data, 0, nil
+	}
+	cm := e.grid.NewCellMap(p.GB, p.Num)
+	var tuples int64
+	for _, in := range p.Inputs {
+		sub, subTuples, err := e.materialize(in)
+		if err != nil {
+			return nil, 0, err
+		}
+		tuples += subTuples
+		scanned, err := e.grid.RollUpInto(cm, p.GB, p.Num, sub)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: aggregation: %w", err)
+		}
+		tuples += int64(scanned)
+	}
+	data := cm.Build(p.GB, p.Num)
+	if e.opts.InsertIntermediates {
+		e.cache.Insert(k, data, cache.ClassComputed, float64(tuples))
+	}
+	return data, tuples, nil
+}

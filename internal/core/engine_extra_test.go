@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"aggcache/internal/backend"
+	"aggcache/internal/cache"
+	"aggcache/internal/chunk"
+	"aggcache/internal/lattice"
+	"aggcache/internal/sizer"
+	"aggcache/internal/strategy"
+)
+
+// flakyBackend fails every request once armed; used for failure injection.
+type flakyBackend struct {
+	backend.Backend
+	fail bool
+}
+
+var errInjected = errors.New("injected backend failure")
+
+func (f *flakyBackend) ComputeChunks(gb lattice.ID, nums []int) ([]*chunk.Chunk, backend.Stats, error) {
+	if f.fail {
+		return nil, backend.Stats{}, errInjected
+	}
+	return f.Backend.ComputeChunks(gb, nums)
+}
+
+func (f *flakyBackend) EstimateScan(gb lattice.ID, nums []int) (int64, error) {
+	if f.fail {
+		return 0, errInjected
+	}
+	return f.Backend.EstimateScan(gb, nums)
+}
+
+// TestBackendFailureSurfacesAndRecovers injects a backend failure mid-run
+// and checks that the engine reports it, stays consistent, and recovers once
+// the backend heals.
+func TestBackendFailureSurfacesAndRecovers(t *testing.T) {
+	base := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
+	fb := &flakyBackend{Backend: base.oracle}
+	sz := sizer.NewEstimate(base.grid, 1000)
+	c, _ := cache.New(1<<20, cache.NewTwoLevel())
+	eng, err := New(base.grid, c, strategy.NewVCMC(base.grid, sz), fb, sz, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	lat := base.grid.Lattice()
+
+	fb.fail = true
+	if _, err := eng.Execute(WholeGroupBy(lat.Base())); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	st := eng.Stats()
+	if st.Queries != 0 {
+		t.Fatalf("failed query was counted: %+v", st)
+	}
+
+	fb.fail = false
+	res, err := eng.Execute(WholeGroupBy(lat.Base()))
+	if err != nil {
+		t.Fatalf("Execute after recovery: %v", err)
+	}
+	if res.Cells() == 0 {
+		t.Fatalf("no cells after recovery")
+	}
+	// Aggregates still work on the recovered cache.
+	res, err = eng.Execute(WholeGroupBy(lat.Top()))
+	if err != nil || !res.CompleteHit {
+		t.Fatalf("aggregate after recovery: %v %+v", err, res)
+	}
+}
+
+// TestEngineConcurrentExecute hammers one engine from many goroutines; the
+// engine serializes internally and every answer must match the oracle.
+func TestEngineConcurrentExecute(t *testing.T) {
+	f := build(t, "VCMC", cache.NewTwoLevel(), 64<<10)
+	lat := f.grid.Lattice()
+	queries := []Query{
+		WholeGroupBy(lat.Base()),
+		WholeGroupBy(lat.Top()),
+		WholeGroupBy(lattice.ID(3)),
+		WholeGroupBy(lattice.ID(7)),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				q := queries[(w+i)%len(queries)]
+				res, err := f.engine.Execute(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Cells() == 0 {
+					errs <- errors.New("empty result")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent execute: %v", err)
+	}
+	// Post-run correctness spot check.
+	res, err := f.engine.Execute(WholeGroupBy(lat.Top()))
+	if err != nil {
+		t.Fatalf("final: %v", err)
+	}
+	assertMatchesOracle(t, f, WholeGroupBy(lat.Top()), res)
+}
+
+// TestInsertIntermediates checks that the option caches a plan's interior
+// chunks, making a follow-up mid-level query a direct hit.
+func TestInsertIntermediates(t *testing.T) {
+	cfgFix := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
+	sz := sizer.NewEstimate(cfgFix.grid, 1000)
+	c, _ := cache.New(1<<20, cache.NewTwoLevel())
+	eng, err := New(cfgFix.grid, c, strategy.NewVCMC(cfgFix.grid, sz), cfgFix.oracle, sz, Options{InsertIntermediates: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	lat := cfgFix.grid.Lattice()
+	if _, err := eng.Execute(WholeGroupBy(lat.Base())); err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if _, err := eng.Execute(WholeGroupBy(lat.Top())); err != nil {
+		t.Fatalf("aggregate: %v", err)
+	}
+	// The top plan passed through some mid-level chunk; with intermediates
+	// cached, at least one mid-level group-by must now have resident chunks.
+	found := false
+	for _, k := range c.Keys(nil) {
+		if k.GB != lat.Base() && k.GB != lat.Top() {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no intermediate chunks were cached")
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"aggcache/internal/strategy"
+)
+
+// Explain describes, without executing anything, how the engine would
+// answer q against the current cache contents: per chunk, whether it is
+// resident, aggregated along a lattice path (showing the plan tree and its
+// cost), or fetched from the backend. Intended for the CLI and debugging.
+func (e *Engine) Explain(q Query) (string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	nq, err := q.normalize(e.grid)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	nums := nq.chunkNumbers(e.grid)
+	fmt.Fprintf(&b, "query: group-by %s %s, %d chunk(s)\n",
+		e.lat.LevelTupleString(nq.GB), e.lat.String(nq.GB), len(nums))
+	backendChunks := 0
+	for _, num := range nums {
+		plan, found, ferr := e.strat.Find(nq.GB, num)
+		switch {
+		case ferr != nil:
+			fmt.Fprintf(&b, "chunk %d: lookup aborted (%v) -> backend\n", num, ferr)
+			backendChunks++
+		case !found:
+			fmt.Fprintf(&b, "chunk %d: not computable -> backend\n", num)
+			backendChunks++
+		case plan.Present:
+			fmt.Fprintf(&b, "chunk %d: resident in cache\n", num)
+		default:
+			fmt.Fprintf(&b, "chunk %d: aggregate in cache (cost %d tuples, %d plan nodes)\n",
+				num, planCost(plan), plan.Nodes())
+			e.writePlan(&b, plan, 1)
+		}
+	}
+	if backendChunks > 0 {
+		fmt.Fprintf(&b, "backend: one batched request for %d chunk(s)\n", backendChunks)
+	} else {
+		fmt.Fprintf(&b, "complete hit: no backend access needed\n")
+	}
+	return b.String(), nil
+}
+
+// planCost returns the plan's cost, computing a structural estimate when
+// the strategy (ESM/VCM) does not track costs.
+func planCost(p *strategy.Plan) int64 {
+	if p.Cost > 0 {
+		return p.Cost
+	}
+	var leaves int64
+	var walk func(*strategy.Plan)
+	walk = func(n *strategy.Plan) {
+		if n.Present {
+			leaves++
+			return
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(p)
+	return leaves // lower bound: at least one tuple per present leaf
+}
+
+func (e *Engine) writePlan(b *strings.Builder, p *strategy.Plan, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if p.Present {
+		fmt.Fprintf(b, "%s- chunk %d of %s [cached]\n", indent, p.Num, e.lat.LevelTupleString(p.GB))
+		return
+	}
+	fmt.Fprintf(b, "%s- chunk %d of %s <- aggregate %d chunk(s) of %s\n",
+		indent, p.Num, e.lat.LevelTupleString(p.GB), len(p.Inputs), e.lat.LevelTupleString(p.Via))
+	for _, in := range p.Inputs {
+		e.writePlan(b, in, depth+1)
+	}
+}

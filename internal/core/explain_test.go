@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"aggcache/internal/cache"
+)
+
+func TestExplainColdAndWarm(t *testing.T) {
+	f := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
+	lat := f.grid.Lattice()
+	top := WholeGroupBy(lat.Top())
+
+	out, err := f.engine.Explain(top)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if !strings.Contains(out, "not computable -> backend") {
+		t.Fatalf("cold explain missing backend route:\n%s", out)
+	}
+	if !strings.Contains(out, "one batched request") {
+		t.Fatalf("cold explain missing batch line:\n%s", out)
+	}
+
+	if _, err := f.engine.Execute(WholeGroupBy(lat.Base())); err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	out, err = f.engine.Explain(top)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if !strings.Contains(out, "aggregate in cache") {
+		t.Fatalf("warm explain missing aggregation plan:\n%s", out)
+	}
+	if !strings.Contains(out, "[cached]") {
+		t.Fatalf("warm explain missing cached leaves:\n%s", out)
+	}
+	if !strings.Contains(out, "complete hit") {
+		t.Fatalf("warm explain missing complete-hit line:\n%s", out)
+	}
+	// Explain must not execute: the top chunk is still not resident.
+	if f.engine.Cache().Contains(cache.Key{GB: lat.Top(), Num: 0}) {
+		t.Fatalf("Explain materialized the chunk")
+	}
+
+	// A resident chunk explains as resident.
+	if _, err := f.engine.Execute(top); err != nil {
+		t.Fatalf("execute top: %v", err)
+	}
+	out, _ = f.engine.Explain(top)
+	if !strings.Contains(out, "resident in cache") {
+		t.Fatalf("resident explain wrong:\n%s", out)
+	}
+
+	// Invalid queries error.
+	if _, err := f.engine.Explain(Query{GB: 9999}); err == nil {
+		t.Fatalf("expected error")
+	}
+}
+
+// TestExplainPlanCostFallback: ESM plans carry no cost; Explain derives a
+// leaf-count lower bound.
+func TestExplainPlanCostFallback(t *testing.T) {
+	f := build(t, "ESM", cache.NewTwoLevel(), 1<<20)
+	lat := f.grid.Lattice()
+	if _, err := f.engine.Execute(WholeGroupBy(lat.Base())); err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	out, err := f.engine.Explain(WholeGroupBy(lat.Top()))
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if !strings.Contains(out, "aggregate in cache (cost") {
+		t.Fatalf("ESM explain missing cost:\n%s", out)
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"aggcache/internal/cache"
+	"aggcache/internal/chunk"
+)
+
+// snapEntry is one cached chunk in a snapshot.
+type snapEntry struct {
+	Key     cache.Key
+	Class   cache.Class
+	Benefit float64
+	Data    *chunk.Chunk
+}
+
+// snapshot is the on-disk cache image written by SaveCache.
+type snapshot struct {
+	Magic   string
+	Entries []snapEntry
+}
+
+const snapshotMagic = "aggcache-snapshot-v1"
+
+// SaveCache writes the cache contents (chunk payloads, classes, benefits)
+// to w, so a middle tier can restart warm. Replacement state (clock
+// weights) is not preserved; reloaded chunks start fresh.
+func (e *Engine) SaveCache(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap := snapshot{Magic: snapshotMagic}
+	e.cache.Range(func(k cache.Key, data *chunk.Chunk, cl cache.Class, benefit float64) {
+		snap.Entries = append(snap.Entries, snapEntry{Key: k, Class: cl, Benefit: benefit, Data: data})
+	})
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: save cache: %w", err)
+	}
+	return nil
+}
+
+// LoadCache restores a snapshot written by SaveCache into the engine's
+// cache, re-inserting every chunk through the normal admission path so the
+// lookup strategy's counts and costs are maintained. It returns the number
+// of chunks admitted (the policy may deny some if the cache is smaller than
+// it was at save time).
+func (e *Engine) LoadCache(r io.Reader) (int, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("core: load cache: %w", err)
+	}
+	if snap.Magic != snapshotMagic {
+		return 0, fmt.Errorf("core: not a cache snapshot (magic %q)", snap.Magic)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	lat := e.grid.Lattice()
+	admitted := 0
+	for _, se := range snap.Entries {
+		if int(se.Key.GB) < 0 || int(se.Key.GB) >= lat.NumNodes() {
+			return admitted, fmt.Errorf("core: snapshot entry %v outside the lattice", se.Key)
+		}
+		if se.Data == nil || int(se.Key.Num) >= e.grid.NumChunks(se.Key.GB) {
+			return admitted, fmt.Errorf("core: snapshot entry %v is corrupt", se.Key)
+		}
+		if e.cache.Insert(se.Key, se.Data, se.Class, se.Benefit) {
+			admitted++
+		}
+	}
+	return admitted, nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aggcache/internal/cache"
+)
+
+func TestSaveLoadCacheWarmRestart(t *testing.T) {
+	f := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
+	lat := f.grid.Lattice()
+	if _, err := f.engine.Execute(WholeGroupBy(lat.Base())); err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if _, err := f.engine.Execute(WholeGroupBy(lat.Top())); err != nil {
+		t.Fatalf("aggregate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := f.engine.SaveCache(&buf); err != nil {
+		t.Fatalf("SaveCache: %v", err)
+	}
+	saved := f.engine.Cache().Len()
+
+	// A fresh engine over the same dataset restarts warm.
+	f2 := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
+	admitted, err := f2.engine.LoadCache(&buf)
+	if err != nil {
+		t.Fatalf("LoadCache: %v", err)
+	}
+	if admitted != saved {
+		t.Fatalf("admitted %d, want %d", admitted, saved)
+	}
+	// Queries that were complete hits before are complete hits again, with
+	// the strategy's counts maintained through the reload.
+	res, err := f2.engine.Execute(WholeGroupBy(lat.Top()))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !res.CompleteHit {
+		t.Fatalf("warm restart lost the cache")
+	}
+	assertMatchesOracle(t, f2, WholeGroupBy(lat.Top()), res)
+	// A roll-up not previously materialized is still computable (counts
+	// were rebuilt by the listener during reload).
+	res, err = f2.engine.Execute(WholeGroupBy(lat.MustID(1, 1, 0)))
+	if err != nil || !res.CompleteHit {
+		t.Fatalf("derived roll-up missed after restart: %v %+v", err, res)
+	}
+}
+
+func TestLoadCacheSmallerCache(t *testing.T) {
+	f := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
+	lat := f.grid.Lattice()
+	if _, err := f.engine.Execute(WholeGroupBy(lat.Base())); err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := f.engine.SaveCache(&buf); err != nil {
+		t.Fatalf("SaveCache: %v", err)
+	}
+	// A much smaller cache admits only part of the snapshot, without error.
+	f2 := build(t, "VCMC", cache.NewTwoLevel(), 2_000)
+	if _, err := f2.engine.LoadCache(&buf); err != nil {
+		t.Fatalf("LoadCache: %v", err)
+	}
+	// Admissions may churn (later inserts evicting earlier ones), but the
+	// cache must end up holding fewer chunks than the snapshot and stay
+	// within capacity.
+	if f2.engine.Cache().Len() >= f.engine.Cache().Len() {
+		t.Fatalf("small cache retained everything (%d)", f2.engine.Cache().Len())
+	}
+	if f2.engine.Cache().Used() > f2.engine.Cache().Capacity() {
+		t.Fatalf("over capacity after load")
+	}
+}
+
+func TestLoadCacheRejectsGarbage(t *testing.T) {
+	f := build(t, "VCM", cache.NewTwoLevel(), 1<<20)
+	if _, err := f.engine.LoadCache(strings.NewReader("junk")); err == nil {
+		t.Fatalf("junk: expected error")
+	}
+	var buf bytes.Buffer
+	if err := f.engine.SaveCache(&buf); err != nil {
+		t.Fatalf("SaveCache: %v", err)
+	}
+	// Valid stream, wrong magic: flip some bytes in the magic region.
+	data := buf.Bytes()
+	idx := bytes.Index(data, []byte("aggcache-snapshot"))
+	if idx < 0 {
+		t.Skip("magic not found in gob stream")
+	}
+	data[idx] = 'x'
+	if _, err := f.engine.LoadCache(bytes.NewReader(data)); err == nil {
+		t.Fatalf("bad magic: expected error")
+	}
+}

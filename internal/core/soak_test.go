@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"aggcache/internal/apb"
+	"aggcache/internal/backend"
+	"aggcache/internal/cache"
+	"aggcache/internal/sizer"
+	"aggcache/internal/strategy"
+)
+
+// TestSoakSmallScale drives a long random workload through the full stack
+// at the small APB scale (336 group-bys) with a thrashing cache, checking
+// every answer against the backend oracle. Skipped with -short.
+func TestSoakSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	cfg := apb.New(apb.ScaleSmall)
+	g, tab, err := cfg.Build(8)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	be, err := backend.NewEngine(g, tab, backend.LatencyModel{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	sz := sizer.NewEstimate(g, int64(tab.Len()))
+	for _, sn := range []string{"VCM", "VCMC"} {
+		t.Run(sn, func(t *testing.T) {
+			var s strategy.Strategy
+			if sn == "VCM" {
+				s = strategy.NewVCM(g)
+			} else {
+				s = strategy.NewVCMC(g, sz)
+			}
+			c, _ := cache.New(64<<10, cache.NewTwoLevel()) // ~1/8 of the base table
+			eng, err := New(g, c, s, be, sz, Options{})
+			if err != nil {
+				t.Fatalf("core.New: %v", err)
+			}
+			if _, _, err := eng.Preload(); err != nil {
+				t.Fatalf("Preload: %v", err)
+			}
+			f := &fixture{grid: g, engine: eng, oracle: be}
+			rng := rand.New(rand.NewSource(123))
+			for i := 0; i < 300; i++ {
+				q := randomQuery(rng, g)
+				res, err := eng.Execute(q)
+				if err != nil {
+					t.Fatalf("query %d: %v", i, err)
+				}
+				// Verify a sample (full verification of every query at this
+				// scale would dominate the suite's runtime).
+				if i%10 == 0 {
+					assertMatchesOracle(t, f, q, res)
+				}
+				if c.Used() > c.Capacity() {
+					t.Fatalf("query %d: cache over capacity", i)
+				}
+			}
+			st := eng.Stats()
+			if st.Queries != 300 {
+				t.Fatalf("stats.Queries = %d", st.Queries)
+			}
+			if st.CompleteHits == 0 {
+				t.Fatalf("no complete hits in 300 queries with a preloaded cache")
+			}
+		})
+	}
+}

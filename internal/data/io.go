@@ -1,0 +1,63 @@
+package data
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"aggcache/internal/schema"
+)
+
+// tableFile is the on-disk gob representation written by SaveTable.
+type tableFile struct {
+	Magic   string
+	NumDims int
+	Members []int32
+	Values  []float64
+}
+
+const tableMagic = "aggcache-fact-v1"
+
+// encodeFile writes a raw tableFile; exists so tests can craft invalid
+// files.
+func encodeFile(w io.Writer, f tableFile) error {
+	return gob.NewEncoder(w).Encode(f)
+}
+
+// SaveTable writes the fact table to w (gob encoded). The schema itself is
+// not serialized; readers must supply the matching schema to LoadTable.
+func SaveTable(w io.Writer, t *Table) error {
+	enc := gob.NewEncoder(w)
+	return enc.Encode(tableFile{
+		Magic:   tableMagic,
+		NumDims: t.nd,
+		Members: t.members,
+		Values:  t.values,
+	})
+}
+
+// LoadTable reads a fact table written by SaveTable and validates it against
+// the schema (dimension count and member ranges).
+func LoadTable(r io.Reader, sch *schema.Schema) (*Table, error) {
+	var f tableFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("data: decode: %w", err)
+	}
+	if f.Magic != tableMagic {
+		return nil, fmt.Errorf("data: not an aggcache fact file (magic %q)", f.Magic)
+	}
+	if f.NumDims != sch.NumDims() {
+		return nil, fmt.Errorf("data: file has %d dimensions, schema has %d", f.NumDims, sch.NumDims())
+	}
+	if len(f.Members) != len(f.Values)*f.NumDims {
+		return nil, fmt.Errorf("data: corrupt file: %d member ids for %d rows", len(f.Members), len(f.Values))
+	}
+	for i, m := range f.Members {
+		d := i % f.NumDims
+		dim := sch.Dim(d)
+		if m < 0 || int(m) >= dim.Card(dim.Hierarchy()) {
+			return nil, fmt.Errorf("data: row %d: member %d outside dimension %s", i/f.NumDims, m, dim.Name())
+		}
+	}
+	return &Table{sch: sch, nd: f.NumDims, members: f.Members, values: f.Values}, nil
+}

@@ -1,0 +1,79 @@
+package data
+
+import (
+	"bytes"
+	"testing"
+
+	"aggcache/internal/schema"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	tab, err := Generate(s, Params{Rows: 200, Density: 0.6, TimeDim: 1, Seed: 8})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTable(&buf, tab); err != nil {
+		t.Fatalf("SaveTable: %v", err)
+	}
+	got, err := LoadTable(&buf, s)
+	if err != nil {
+		t.Fatalf("LoadTable: %v", err)
+	}
+	if got.Len() != tab.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), tab.Len())
+	}
+	for i := 0; i < tab.Len(); i++ {
+		a, b := tab.Row(i), got.Row(i)
+		for d := range a {
+			if a[d] != b[d] {
+				t.Fatalf("row %d differs", i)
+			}
+		}
+		if tab.Value(i) != got.Value(i) {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+}
+
+func TestLoadTableValidation(t *testing.T) {
+	s := testSchema(t)
+	tab, _ := Generate(s, Params{Rows: 50, Density: 0.6, TimeDim: 1, Seed: 8})
+	var buf bytes.Buffer
+	if err := SaveTable(&buf, tab); err != nil {
+		t.Fatalf("SaveTable: %v", err)
+	}
+	saved := buf.Bytes()
+
+	// Wrong schema dimensionality.
+	d := schema.MustNewDimension("D", []schema.HierarchySpec{{Name: "a", Card: 4}})
+	s1 := schema.MustNew("M", d)
+	if _, err := LoadTable(bytes.NewReader(saved), s1); err == nil {
+		t.Errorf("wrong dims: expected error")
+	}
+
+	// Out-of-range members for a smaller schema with the same arity.
+	small := schema.MustNew("M",
+		schema.MustNewDimension("P", []schema.HierarchySpec{{Name: "a", Card: 2}}),
+		schema.MustNewDimension("T", []schema.HierarchySpec{{Name: "a", Card: 2}}),
+		schema.MustNewDimension("C", []schema.HierarchySpec{{Name: "a", Card: 2}}),
+	)
+	if _, err := LoadTable(bytes.NewReader(saved), small); err == nil {
+		t.Errorf("out-of-range members: expected error")
+	}
+
+	// Corrupt stream.
+	if _, err := LoadTable(bytes.NewReader([]byte("junk")), s); err == nil {
+		t.Errorf("junk: expected error")
+	}
+	// Wrong magic.
+	var buf2 bytes.Buffer
+	bad := tableFile{Magic: "nope", NumDims: 3}
+	if err := encodeFile(&buf2, bad); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if _, err := LoadTable(&buf2, s); err == nil {
+		t.Errorf("bad magic: expected error")
+	}
+}

@@ -1,0 +1,52 @@
+package lattice_test
+
+import (
+	"fmt"
+
+	"aggcache/internal/lattice"
+	"aggcache/internal/schema"
+)
+
+// ExampleLattice_PathCount reproduces the paper's Lemma 1 on the APB-1
+// hierarchy sizes (6,2,3,1,1): the most aggregated group-by has
+// 13!/(6!·2!·3!·1!·1!) computation paths to the base level.
+func ExampleLattice_PathCount() {
+	mk := func(name string, cards ...int) *schema.Dimension {
+		specs := make([]schema.HierarchySpec, len(cards))
+		for i, c := range cards {
+			specs[i] = schema.HierarchySpec{Name: fmt.Sprintf("L%d", i+1), Card: c}
+		}
+		return schema.MustNewDimension(name, specs)
+	}
+	s := schema.MustNew("UnitSales",
+		mk("Product", 2, 4, 8, 16, 32, 64),
+		mk("Customer", 3, 9),
+		mk("Time", 2, 8, 24),
+		mk("Channel", 10),
+		mk("Scenario", 2),
+	)
+	l := lattice.New(s)
+	fmt.Println("group-bys:", l.NumNodes())
+	fmt.Println("paths from top:", l.PathCount(l.Top()))
+	fmt.Println("paths from base:", l.PathCount(l.Base()))
+	// Output:
+	// group-bys: 336
+	// paths from top: 720720
+	// paths from base: 1
+}
+
+// ExampleLattice_Parents shows the "can be computed by" neighborhood of the
+// paper's Example 2 group-by (0,2,0).
+func ExampleLattice_Parents() {
+	a := schema.MustNewDimension("A", []schema.HierarchySpec{{Name: "A1", Card: 4}})
+	b := schema.MustNewDimension("B", []schema.HierarchySpec{{Name: "B1", Card: 2}, {Name: "B2", Card: 4}})
+	c := schema.MustNewDimension("C", []schema.HierarchySpec{{Name: "C1", Card: 4}})
+	l := lattice.New(schema.MustNew("M", a, b, c))
+	n := l.MustID(0, 2, 0)
+	for _, p := range l.Parents(n) {
+		fmt.Println(l.LevelTupleString(p))
+	}
+	// Output:
+	// (1,2,0)
+	// (0,2,1)
+}

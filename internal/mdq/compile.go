@@ -1,0 +1,135 @@
+package mdq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aggcache/internal/chunk"
+	"aggcache/internal/core"
+)
+
+// Compile parses src and binds it to a grid, producing a chunk-aligned
+// core.Query with exact member trimming plus the query's aggregate
+// function (the engine always caches sum+count cells; the aggregate is
+// applied at presentation time).
+func Compile(src string, g *chunk.Grid) (core.Query, Agg, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return core.Query{}, AggSum, err
+	}
+	q, err := st.Compile(g)
+	return q, st.Agg, err
+}
+
+// Compile binds the statement to a grid.
+func (st *Statement) Compile(g *chunk.Grid) (core.Query, error) {
+	sch := g.Schema()
+	level, err := st.bindLevels(sch)
+	if err != nil {
+		return core.Query{}, err
+	}
+	gb, err := g.Lattice().IDOf(level)
+	if err != nil {
+		return core.Query{}, err
+	}
+	nd := sch.NumDims()
+	ranges := make([]chunk.Range, nd)
+	for d := 0; d < nd; d++ {
+		ranges[d] = chunk.Range{Lo: 0, Hi: int32(sch.Dim(d).Card(level[d]))}
+	}
+	for _, pred := range st.Where {
+		d, ok := sch.DimByName(pred.Dim)
+		if !ok {
+			return core.Query{}, fmt.Errorf("mdq: unknown dimension %q in WHERE", pred.Dim)
+		}
+		l, ok := sch.Dim(d).LevelByName(pred.Level)
+		if !ok {
+			return core.Query{}, fmt.Errorf("mdq: dimension %q has no level %q", pred.Dim, pred.Level)
+		}
+		if l != level[d] {
+			return core.Query{}, fmt.Errorf("mdq: WHERE on %s:%s but query groups %s at %s; predicates must use the queried level",
+				pred.Dim, pred.Level, pred.Dim, sch.Dim(d).LevelName(level[d]))
+		}
+		if pred.Lo < 0 || int(pred.Hi) >= sch.Dim(d).Card(l) {
+			return core.Query{}, fmt.Errorf("mdq: %s:%s range %d..%d outside [0,%d)",
+				pred.Dim, pred.Level, pred.Lo, pred.Hi, sch.Dim(d).Card(l))
+		}
+		ranges[d] = chunk.Range{Lo: pred.Lo, Hi: pred.Hi + 1}
+	}
+	// Round member ranges out to chunk bounds; keep exact ranges for
+	// trimming.
+	lo := make([]int32, nd)
+	hi := make([]int32, nd)
+	for d := 0; d < nd; d++ {
+		lo[d] = g.ChunkOfMember(d, level[d], ranges[d].Lo)
+		hi[d] = g.ChunkOfMember(d, level[d], ranges[d].Hi-1) + 1
+	}
+	return core.Query{GB: gb, Lo: lo, Hi: hi, MemberRanges: ranges}, nil
+}
+
+// FormatResult renders a result as an aligned table of member names and
+// aggregate values, up to limit rows (0 = all), for the CLI and examples.
+func FormatResult(g *chunk.Grid, r *core.Result, agg Agg, limit int) string {
+	sch := g.Schema()
+	lat := g.Lattice()
+	lv := lat.Level(r.Query.GB)
+	type row struct {
+		names []string
+		val   float64
+	}
+	var rows []row
+	for _, c := range r.Chunks {
+		var mbuf [16]int32
+		for i, key := range c.Keys {
+			members := g.CellMembers(c.GB, int(c.Num), key, mbuf[:0])
+			names := make([]string, len(members))
+			for d, m := range members {
+				names[d] = sch.Dim(d).MemberName(lv[d], m)
+			}
+			count := int64(1)
+			if c.Counts != nil {
+				count = c.Counts[i]
+			}
+			rows = append(rows, row{names: names, val: agg.Apply(c.Vals[i], count)})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		for d := range rows[i].names {
+			if rows[i].names[d] != rows[j].names[d] {
+				return rows[i].names[d] < rows[j].names[d]
+			}
+		}
+		return false
+	})
+	var b strings.Builder
+	switch agg {
+	case AggCount:
+		fmt.Fprintf(&b, "%d cells, total rows %d\n", len(rows), totalRows(r))
+	case AggAvg:
+		fmt.Fprintf(&b, "%d cells, overall avg %.2f\n", len(rows), AggAvg.Apply(r.Total(), totalRows(r)))
+	default:
+		fmt.Fprintf(&b, "%d cells, total %.2f\n", len(rows), r.Total())
+	}
+	n := len(rows)
+	truncated := false
+	if limit > 0 && n > limit {
+		n, truncated = limit, true
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  %s = %.2f\n", strings.Join(rows[i].names, ", "), rows[i].val)
+	}
+	if truncated {
+		fmt.Fprintf(&b, "  … %d more rows\n", len(rows)-n)
+	}
+	return b.String()
+}
+
+// totalRows sums the fact-row counts across the result's chunks.
+func totalRows(r *core.Result) int64 {
+	var n int64
+	for _, c := range r.Chunks {
+		n += c.Rows()
+	}
+	return n
+}

@@ -1,0 +1,49 @@
+package mdq
+
+import (
+	"testing"
+
+	"aggcache/internal/apb"
+	"aggcache/internal/chunk"
+)
+
+// FuzzParseCompile throws arbitrary strings at the parser and, when they
+// parse, at the compiler. Neither may panic; errors are fine.
+func FuzzParseCompile(f *testing.F) {
+	seeds := []string{
+		"SUM(UnitSales) BY Product:Group",
+		"select sum(UnitSales) by Product:Code, Time:Month where Time:Month in 0..3",
+		"COUNT(UnitSales) BY Time:Year WHERE Time:Year IN 1..1",
+		"AVG(UnitSales) BY Channel:Base",
+		"SUM(UnitSales) BY Product:Group WHERE Product:Group IN 0..0 AND Time:Month IN 2..5",
+		"SUM(",
+		"BY WHERE IN",
+		"SUM(x) BY a:b WHERE c:d IN 9..1",
+		"SUM(UnitSales) BY Product:Group ..",
+		"💥 SUM(UnitSales) BY Product:Group",
+		"SUM(UnitSales) BY Product:Group WHERE Product:Group IN 99999999999999999999..0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	cfg := apb.New(apb.ScaleTiny)
+	g, err := chunk.NewGrid(cfg.Schema, cfg.ChunkCounts)
+	if err != nil {
+		f.Fatalf("NewGrid: %v", err)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Valid parse: compilation must not panic, and a successful compile
+		// must produce a well-formed query.
+		q, cerr := st.Compile(g)
+		if cerr != nil {
+			return
+		}
+		if _, nerr := q.NumChunks(g); nerr != nil {
+			t.Fatalf("compiled query invalid: %v (from %q)", nerr, src)
+		}
+	})
+}

@@ -1,0 +1,286 @@
+package mdq
+
+import (
+	"strings"
+	"testing"
+
+	"aggcache/internal/apb"
+	"aggcache/internal/backend"
+	"aggcache/internal/cache"
+	"aggcache/internal/chunk"
+	"aggcache/internal/core"
+	"aggcache/internal/sizer"
+	"aggcache/internal/strategy"
+)
+
+func tinyGrid(t testing.TB) *chunk.Grid {
+	t.Helper()
+	cfg := apb.New(apb.ScaleTiny)
+	g, err := chunk.NewGrid(cfg.Schema, cfg.ChunkCounts)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	return g
+}
+
+func TestParseBasic(t *testing.T) {
+	st, err := Parse("SUM(UnitSales) BY Product:Group, Time:Month WHERE Time:Month IN 0..3")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if st.Measure != "UnitSales" {
+		t.Fatalf("Measure = %q", st.Measure)
+	}
+	if len(st.By) != 2 || st.By[0] != (LevelRef{Dim: "Product", Level: "Group"}) {
+		t.Fatalf("By = %+v", st.By)
+	}
+	if len(st.Where) != 1 || st.Where[0].Lo != 0 || st.Where[0].Hi != 3 {
+		t.Fatalf("Where = %+v", st.Where)
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	ok := []string{
+		"select sum(UnitSales) by Product:Code",
+		"SUM(UnitSales) BY Time:Year WHERE Time:Year IN 1..1",
+		"SUM(UnitSales) BY Product:Group, Time:Month, Channel:Base WHERE Product:Group IN 0..0 AND Time:Month IN 2..5",
+	}
+	for _, src := range ok {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+	bad := []string{
+		"",
+		"SUM UnitSales BY Product:Group",
+		"SUM(UnitSales)",
+		"SUM(UnitSales) BY Product",
+		"SUM(UnitSales) BY Product:Group WHERE",
+		"SUM(UnitSales) BY Product:Group WHERE Product:Group IN 3..1",
+		"SUM(UnitSales) BY Product:Group IN 0..1",
+		"SUM(UnitSales) BY Product:Group extra",
+		"SUM(UnitSales) BY Product:Group WHERE Product:Group IN a..b",
+		"MAX(UnitSales) BY Product:Group",
+		"SUM(UnitSales) BY Product:Group WHERE Product:Group IN 0.5",
+		"SUM(#) BY Product:Group",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestCompile(t *testing.T) {
+	g := tinyGrid(t)
+	q, agg, err := Compile("SUM(UnitSales) BY Product:Group, Time:Month WHERE Time:Month IN 0..3", g)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if agg != AggSum {
+		t.Fatalf("agg = %v, want SUM", agg)
+	}
+	lat := g.Lattice()
+	if q.GB != lat.MustID(1, 2, 0) {
+		t.Fatalf("GB = %s", lat.LevelTupleString(q.GB))
+	}
+	// Months 0..3 fall in the first of 2 month-chunks.
+	if q.Lo[1] != 0 || q.Hi[1] != 1 {
+		t.Fatalf("time chunk bounds [%d,%d), want [0,1)", q.Lo[1], q.Hi[1])
+	}
+	if q.MemberRanges[1].Lo != 0 || q.MemberRanges[1].Hi != 4 {
+		t.Fatalf("time member range %+v", q.MemberRanges[1])
+	}
+	// Unmentioned dimensions aggregate to ALL.
+	if lat.LevelAt(q.GB, 2) != 0 {
+		t.Fatalf("channel not aggregated to ALL")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	g := tinyGrid(t)
+	bad := []string{
+		"SUM(Wrong) BY Product:Group",
+		"SUM(UnitSales) BY Nope:Group",
+		"SUM(UnitSales) BY Product:Nope",
+		"SUM(UnitSales) BY Product:Group, Product:Code",
+		"SUM(UnitSales) BY Product:Group WHERE Nope:Group IN 0..0",
+		"SUM(UnitSales) BY Product:Group WHERE Product:Nope IN 0..0",
+		"SUM(UnitSales) BY Product:Group WHERE Product:Code IN 0..0", // wrong level
+		"SUM(UnitSales) BY Product:Group WHERE Product:Group IN 0..99",
+	}
+	for _, src := range bad {
+		if _, _, err := Compile(src, g); err == nil {
+			t.Errorf("Compile(%q): expected error", src)
+		}
+	}
+}
+
+// TestEndToEnd runs a compiled query through a real engine and checks the
+// trimmed result against a direct backend computation.
+func TestEndToEnd(t *testing.T) {
+	cfg := apb.New(apb.ScaleTiny)
+	g, tab, err := cfg.Build(33)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	be, err := backend.NewEngine(g, tab, backend.LatencyModel{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	sz := sizer.NewEstimate(g, int64(tab.Len()))
+	c, _ := cache.New(1<<20, cache.NewTwoLevel())
+	eng, err := core.New(g, c, strategy.NewVCMC(g, sz), be, sz, core.Options{})
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	q, _, err := Compile("SUM(UnitSales) BY Time:Year WHERE Time:Year IN 0..0", g)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	res, err := eng.Execute(q)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	// Direct oracle: sum of all rows in months 0..3 (year 0).
+	want := 0.0
+	for i := 0; i < tab.Len(); i++ {
+		if tab.Row(i)[1] < 4 {
+			want += tab.Value(i)
+		}
+	}
+	if diff := res.Total() - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("Total = %v, want %v", res.Total(), want)
+	}
+	out := FormatResult(g, res, AggSum, 10)
+	if !strings.Contains(out, "Time:Year#0") {
+		t.Fatalf("FormatResult output missing member name:\n%s", out)
+	}
+	// Limited output mentions truncation only when needed.
+	if strings.Contains(out, "more rows") {
+		t.Fatalf("single-cell result claims truncation:\n%s", out)
+	}
+}
+
+// TestCountAvgFromSameCache checks that COUNT and AVG queries are served
+// from the same cached sum+count cells and agree with direct computation.
+func TestCountAvgFromSameCache(t *testing.T) {
+	cfg := apb.New(apb.ScaleTiny)
+	g, tab, err := cfg.Build(35)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	be, _ := backend.NewEngine(g, tab, backend.LatencyModel{})
+	sz := sizer.NewEstimate(g, int64(tab.Len()))
+	c, _ := cache.New(1<<20, cache.NewTwoLevel())
+	eng, _ := core.New(g, c, strategy.NewVCMC(g, sz), be, sz, core.Options{})
+
+	// Warm with the base level.
+	warm, _, err := Compile("SUM(UnitSales) BY Product:Code, Time:Month, Channel:Base", g)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if _, err := eng.Execute(warm); err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+
+	run := func(src string) (*core.Result, Agg) {
+		q, agg, err := Compile(src, g)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", src, err)
+		}
+		res, err := eng.Execute(q)
+		if err != nil {
+			t.Fatalf("Execute(%q): %v", src, err)
+		}
+		if !res.CompleteHit {
+			t.Fatalf("%q not served from cache", src)
+		}
+		return res, agg
+	}
+
+	// COUNT of everything == number of fact rows; AVG == total/rows.
+	cnt, cagg := run("COUNT(UnitSales) BY Time:Year WHERE Time:Year IN 0..1")
+	var rows int64
+	var total float64
+	for _, ch := range cnt.Chunks {
+		rows += ch.Rows()
+		total += ch.Total()
+	}
+	if rows != int64(tab.Len()) {
+		t.Fatalf("COUNT rows %d, want %d", rows, tab.Len())
+	}
+	if cagg != AggCount {
+		t.Fatalf("agg = %v", cagg)
+	}
+	avgRes, aagg := run("AVG(UnitSales) BY Time:Year WHERE Time:Year IN 0..1")
+	if aagg != AggAvg {
+		t.Fatalf("agg = %v", aagg)
+	}
+	// Check one cell's AVG against SUM/COUNT from the same chunk.
+	ch := avgRes.Chunks[0]
+	if ch.Cells() == 0 {
+		t.Fatalf("no cells")
+	}
+	sum, n, _ := ch.Cell(ch.Keys[0])
+	want := sum / float64(n)
+	if got := AggAvg.Apply(sum, n); got != want {
+		t.Fatalf("AVG apply = %v, want %v", got, want)
+	}
+	out := FormatResult(g, avgRes, AggAvg, 4)
+	if !strings.Contains(out, "overall avg") {
+		t.Fatalf("AVG header missing:\n%s", out)
+	}
+	out = FormatResult(g, cnt, AggCount, 4)
+	if !strings.Contains(out, "total rows") {
+		t.Fatalf("COUNT header missing:\n%s", out)
+	}
+}
+
+func TestAggApply(t *testing.T) {
+	if AggSum.Apply(10, 4) != 10 {
+		t.Fatalf("SUM apply")
+	}
+	if AggCount.Apply(10, 4) != 4 {
+		t.Fatalf("COUNT apply")
+	}
+	if AggAvg.Apply(10, 4) != 2.5 {
+		t.Fatalf("AVG apply")
+	}
+	if AggAvg.Apply(10, 0) != 0 {
+		t.Fatalf("AVG of empty cell")
+	}
+	if AggSum.String() != "SUM" || AggCount.String() != "COUNT" || AggAvg.String() != "AVG" {
+		t.Fatalf("Agg strings")
+	}
+	if Agg(9).String() != "Agg(9)" {
+		t.Fatalf("unknown agg string")
+	}
+}
+
+func TestFormatResultTruncation(t *testing.T) {
+	cfg := apb.New(apb.ScaleTiny)
+	g, tab, err := cfg.Build(34)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	be, _ := backend.NewEngine(g, tab, backend.LatencyModel{})
+	sz := sizer.NewEstimate(g, int64(tab.Len()))
+	c, _ := cache.New(1<<20, cache.NewTwoLevel())
+	eng, _ := core.New(g, c, strategy.NewVCMC(g, sz), be, sz, core.Options{})
+	q, _, err := Compile("SUM(UnitSales) BY Product:Code, Time:Month", g)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	res, err := eng.Execute(q)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	out := FormatResult(g, res, AggSum, 5)
+	if !strings.Contains(out, "more rows") {
+		t.Fatalf("expected truncation marker:\n%s", out)
+	}
+	if got := strings.Count(out, "="); got != 5 {
+		t.Fatalf("expected 5 rows, got %d", got)
+	}
+}

@@ -1,0 +1,250 @@
+package mdq
+
+import (
+	"fmt"
+	"strconv"
+
+	"aggcache/internal/schema"
+)
+
+// Agg selects the aggregate function of a query. Cached chunks carry both
+// per-cell sums and fact-row counts, so every Agg is served from the same
+// cache contents.
+type Agg int
+
+const (
+	// AggSum returns Σ measure.
+	AggSum Agg = iota
+	// AggCount returns the number of contributing fact rows.
+	AggCount
+	// AggAvg returns Σ measure / row count.
+	AggAvg
+)
+
+// String implements fmt.Stringer.
+func (a Agg) String() string {
+	switch a {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggAvg:
+		return "AVG"
+	}
+	return fmt.Sprintf("Agg(%d)", int(a))
+}
+
+// Apply computes the aggregate from a cell's (sum, count) pair.
+func (a Agg) Apply(sum float64, count int64) float64 {
+	switch a {
+	case AggCount:
+		return float64(count)
+	case AggAvg:
+		if count == 0 {
+			return 0
+		}
+		return sum / float64(count)
+	}
+	return sum
+}
+
+// Statement is a parsed query before binding to a chunk grid.
+type Statement struct {
+	// Agg is the aggregate function (SUM, COUNT or AVG).
+	Agg Agg
+	// Measure is the aggregated measure name inside SUM(...).
+	Measure string
+	// By lists the requested levels per dimension name.
+	By []LevelRef
+	// Where lists member-range predicates.
+	Where []Predicate
+}
+
+// LevelRef names a dimension level, e.g. Product:Group.
+type LevelRef struct {
+	Dim   string
+	Level string
+}
+
+// Predicate restricts a dimension's members at a level to [Lo, Hi]
+// (inclusive, as written in the query).
+type Predicate struct {
+	LevelRef
+	Lo, Hi int32
+}
+
+// Parse parses a query string.
+//
+//	query := [SELECT] agg '(' ident ')' BY byList [WHERE predList]
+//	agg := SUM | COUNT | AVG
+//	byList := dim ':' level { ',' dim ':' level }
+//	predList := pred { AND pred }
+//	pred := dim ':' level IN number '..' number
+func Parse(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("mdq: expected %s, got %s at position %d", what, t, t.pos)
+	}
+	return t, nil
+}
+
+func (p *parser) parse() (*Statement, error) {
+	if isKeyword(p.peek(), "SELECT") {
+		p.next()
+	}
+	var agg Agg
+	switch {
+	case isKeyword(p.peek(), "SUM"):
+		agg = AggSum
+	case isKeyword(p.peek(), "COUNT"):
+		agg = AggCount
+	case isKeyword(p.peek(), "AVG"):
+		agg = AggAvg
+	default:
+		return nil, fmt.Errorf("mdq: expected SUM, COUNT or AVG, got %s", p.peek())
+	}
+	p.next()
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	m, err := p.expect(tokIdent, "measure name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	st := &Statement{Agg: agg, Measure: m.text}
+	if !isKeyword(p.peek(), "BY") {
+		return nil, fmt.Errorf("mdq: expected BY, got %s", p.peek())
+	}
+	p.next()
+	for {
+		ref, err := p.levelRef()
+		if err != nil {
+			return nil, err
+		}
+		st.By = append(st.By, ref)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if isKeyword(p.peek(), "WHERE") {
+		p.next()
+		for {
+			pred, err := p.predicate()
+			if err != nil {
+				return nil, err
+			}
+			st.Where = append(st.Where, pred)
+			if !isKeyword(p.peek(), "AND") {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("mdq: trailing input at %s", p.peek())
+	}
+	return st, nil
+}
+
+func (p *parser) levelRef() (LevelRef, error) {
+	dim, err := p.expect(tokIdent, "dimension name")
+	if err != nil {
+		return LevelRef{}, err
+	}
+	if _, err := p.expect(tokColon, "':'"); err != nil {
+		return LevelRef{}, err
+	}
+	lvl, err := p.expect(tokIdent, "level name")
+	if err != nil {
+		return LevelRef{}, err
+	}
+	return LevelRef{Dim: dim.text, Level: lvl.text}, nil
+}
+
+func (p *parser) predicate() (Predicate, error) {
+	ref, err := p.levelRef()
+	if err != nil {
+		return Predicate{}, err
+	}
+	if !isKeyword(p.peek(), "IN") {
+		return Predicate{}, fmt.Errorf("mdq: expected IN, got %s", p.peek())
+	}
+	p.next()
+	lo, err := p.number()
+	if err != nil {
+		return Predicate{}, err
+	}
+	if _, err := p.expect(tokDotDot, "'..'"); err != nil {
+		return Predicate{}, err
+	}
+	hi, err := p.number()
+	if err != nil {
+		return Predicate{}, err
+	}
+	if hi < lo {
+		return Predicate{}, fmt.Errorf("mdq: empty range %d..%d", lo, hi)
+	}
+	return Predicate{LevelRef: ref, Lo: lo, Hi: hi}, nil
+}
+
+func (p *parser) number() (int32, error) {
+	t, err := p.expect(tokNumber, "number")
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(t.text, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("mdq: bad number %q: %v", t.text, err)
+	}
+	return int32(v), nil
+}
+
+// bindLevels resolves the BY list against a schema into a level vector.
+func (st *Statement) bindLevels(sch *schema.Schema) ([]int, error) {
+	if st.Measure != sch.Measure() {
+		return nil, fmt.Errorf("mdq: unknown measure %q (schema has %q)", st.Measure, sch.Measure())
+	}
+	level := make([]int, sch.NumDims())
+	seen := make(map[int]bool)
+	for _, ref := range st.By {
+		d, ok := sch.DimByName(ref.Dim)
+		if !ok {
+			return nil, fmt.Errorf("mdq: unknown dimension %q", ref.Dim)
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("mdq: dimension %q listed twice in BY", ref.Dim)
+		}
+		seen[d] = true
+		l, ok := sch.Dim(d).LevelByName(ref.Level)
+		if !ok {
+			return nil, fmt.Errorf("mdq: dimension %q has no level %q", ref.Dim, ref.Level)
+		}
+		level[d] = l
+	}
+	return level, nil
+}

@@ -1,0 +1,116 @@
+// Package metrics provides the timing instrumentation used throughout the
+// experiments: per-query time breakups (cache lookup / aggregation / count
+// maintenance / backend, matching Figure 10 of the paper) and min/max/avg
+// accumulators for the lookup- and update-time tables.
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// Breakdown is the cost of answering one query, split the way Figure 10
+// splits it, plus the backend component for cache misses.
+type Breakdown struct {
+	// Lookup is the time spent deciding, per chunk, whether the cache can
+	// answer (strategy Find calls).
+	Lookup time.Duration
+	// Aggregate is the time spent aggregating cached chunks.
+	Aggregate time.Duration
+	// Update is the time spent maintaining strategy state (virtual counts,
+	// costs) while inserting and evicting chunks.
+	Update time.Duration
+	// Backend is the time attributed to backend execution: real compute plus
+	// the latency model's simulated component.
+	Backend time.Duration
+}
+
+// Total returns the full response time.
+func (b Breakdown) Total() time.Duration {
+	return b.Lookup + b.Aggregate + b.Update + b.Backend
+}
+
+// Add accumulates another breakdown into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Lookup += o.Lookup
+	b.Aggregate += o.Aggregate
+	b.Update += o.Update
+	b.Backend += o.Backend
+}
+
+// Scale returns b divided by n (for averaging); n must be positive.
+func (b Breakdown) Scale(n int) Breakdown {
+	if n <= 0 {
+		panic("metrics: Scale by non-positive count")
+	}
+	return Breakdown{
+		Lookup:    b.Lookup / time.Duration(n),
+		Aggregate: b.Aggregate / time.Duration(n),
+		Update:    b.Update / time.Duration(n),
+		Backend:   b.Backend / time.Duration(n),
+	}
+}
+
+// String formats the breakdown compactly.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("lookup=%v agg=%v update=%v backend=%v total=%v",
+		b.Lookup, b.Aggregate, b.Update, b.Backend, b.Total())
+}
+
+// Accumulator tracks min/max/sum/count of durations — the shape of the
+// paper's Tables 1 and 2 (min, max, average).
+type Accumulator struct {
+	Min, Max, Sum time.Duration
+	N             int64
+}
+
+// Observe adds one sample.
+func (a *Accumulator) Observe(d time.Duration) {
+	if a.N == 0 || d < a.Min {
+		a.Min = d
+	}
+	if d > a.Max {
+		a.Max = d
+	}
+	a.Sum += d
+	a.N++
+}
+
+// Avg returns the mean of the observed samples (0 if none).
+func (a *Accumulator) Avg() time.Duration {
+	if a.N == 0 {
+		return 0
+	}
+	return a.Sum / time.Duration(a.N)
+}
+
+// Merge folds another accumulator into a.
+func (a *Accumulator) Merge(o Accumulator) {
+	if o.N == 0 {
+		return
+	}
+	if a.N == 0 || o.Min < a.Min {
+		a.Min = o.Min
+	}
+	if o.Max > a.Max {
+		a.Max = o.Max
+	}
+	a.Sum += o.Sum
+	a.N += o.N
+}
+
+// String formats the accumulator like the paper's tables: min/max/avg.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("min=%v max=%v avg=%v (n=%d)", a.Min, a.Max, a.Avg(), a.N)
+}
+
+// StopwatchFunc times fn and returns its duration.
+func StopwatchFunc(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// Ms renders a duration as fractional milliseconds, the unit used by the
+// paper's tables.
+func Ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

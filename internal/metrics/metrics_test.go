@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBreakdown(t *testing.T) {
+	b := Breakdown{Lookup: 1, Aggregate: 2, Update: 3, Backend: 4}
+	if b.Total() != 10 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	b.Add(Breakdown{Lookup: 10, Aggregate: 20, Update: 30, Backend: 40})
+	if b.Lookup != 11 || b.Aggregate != 22 || b.Update != 33 || b.Backend != 44 {
+		t.Fatalf("Add = %+v", b)
+	}
+	s := b.Scale(11)
+	if s.Lookup != 1 || s.Aggregate != 2 || s.Update != 3 || s.Backend != 4 {
+		t.Fatalf("Scale = %+v", s)
+	}
+	if !strings.Contains(b.String(), "lookup=") {
+		t.Fatalf("String = %q", b.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Scale(0) should panic")
+		}
+	}()
+	b.Scale(0)
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.Avg() != 0 {
+		t.Fatalf("empty Avg = %v", a.Avg())
+	}
+	a.Observe(10)
+	a.Observe(30)
+	a.Observe(20)
+	if a.Min != 10 || a.Max != 30 || a.Avg() != 20 || a.N != 3 {
+		t.Fatalf("acc = %+v", a)
+	}
+	var b Accumulator
+	b.Observe(5)
+	b.Observe(100)
+	a.Merge(b)
+	if a.Min != 5 || a.Max != 100 || a.N != 5 {
+		t.Fatalf("merged = %+v", a)
+	}
+	var empty Accumulator
+	a.Merge(empty)
+	if a.N != 5 {
+		t.Fatalf("merge with empty changed N")
+	}
+	empty.Merge(a)
+	if empty.Min != 5 || empty.Max != 100 {
+		t.Fatalf("merge into empty = %+v", empty)
+	}
+	if !strings.Contains(a.String(), "min=") {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestStopwatchAndMs(t *testing.T) {
+	d := StopwatchFunc(func() { time.Sleep(time.Millisecond) })
+	if d < time.Millisecond {
+		t.Fatalf("StopwatchFunc = %v", d)
+	}
+	if Ms(1500*time.Microsecond) != 1.5 {
+		t.Fatalf("Ms = %v", Ms(1500*time.Microsecond))
+	}
+}

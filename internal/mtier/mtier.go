@@ -1,0 +1,251 @@
+// Package mtier exposes a middle-tier (aggregate aware cache) engine to
+// remote clients over TCP, completing the paper's three-tier deployment:
+// clients send mdq query strings, the middle tier answers from its cache or
+// the backend, and replies with the result cells plus provenance (cache hit,
+// aggregated, backend) and the Figure-10 time breakup.
+//
+// The wire protocol is gob over a persistent connection, mirroring
+// package backend's protocol between the middle tier and the database.
+package mtier
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"aggcache/internal/chunk"
+	"aggcache/internal/core"
+	"aggcache/internal/mdq"
+)
+
+// Request is one client query.
+type Request struct {
+	// Query is an mdq statement, e.g.
+	// "SUM(UnitSales) BY Product:Group WHERE Product:Group IN 0..3".
+	Query string
+}
+
+// Cell is one result cell: absolute member ids at the queried levels plus
+// the aggregate value (already computed per the query's aggregate function)
+// and the underlying sum/count pair.
+type Cell struct {
+	Members []int32
+	Value   float64
+	Sum     float64
+	Count   int64
+}
+
+// Response answers one Request.
+type Response struct {
+	// Agg is the aggregate function applied ("SUM", "COUNT", "AVG").
+	Agg string
+	// Levels names the group-by level per dimension.
+	Levels []string
+	Cells  []Cell
+	// CompleteHit reports that the cache answered without the backend;
+	// Aggregated reports in-cache aggregation happened.
+	CompleteHit bool
+	Aggregated  bool
+	// Lookup/Aggregate/Update/Backend are the time-breakup components in
+	// nanoseconds.
+	Lookup, Aggregate, Update, Backend int64
+	// Err is non-empty on failure.
+	Err string
+}
+
+// Total returns the response's total service time.
+func (r *Response) Total() time.Duration {
+	return time.Duration(r.Lookup + r.Aggregate + r.Update + r.Backend)
+}
+
+// Server serves one engine to many clients. Queries are serialized by the
+// engine itself.
+type Server struct {
+	engine *core.Engine
+	grid   *chunk.Grid
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps an engine for serving.
+func NewServer(engine *core.Engine) *Server {
+	return &Server{engine: engine, grid: engine.Grid(), conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting connections on addr and returns the bound
+// address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("mtier: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.answer(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// answer executes one query.
+func (s *Server) answer(req Request) *Response {
+	q, agg, err := mdq.Compile(req.Query, s.grid)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	res, err := s.engine.Execute(q)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	lat := s.grid.Lattice()
+	lv := lat.Level(q.GB)
+	sch := s.grid.Schema()
+	resp := &Response{
+		Agg:         agg.String(),
+		CompleteHit: res.CompleteHit,
+		Aggregated:  res.AggregatedTuples > 0,
+		Lookup:      int64(res.Breakdown.Lookup),
+		Aggregate:   int64(res.Breakdown.Aggregate),
+		Update:      int64(res.Breakdown.Update),
+		Backend:     int64(res.Breakdown.Backend),
+	}
+	for d, l := range lv {
+		resp.Levels = append(resp.Levels, sch.Dim(d).Name()+":"+sch.Dim(d).LevelName(l))
+	}
+	for _, c := range res.Chunks {
+		for i, key := range c.Keys {
+			members := s.grid.CellMembers(c.GB, int(c.Num), key, nil)
+			count := int64(1)
+			if c.Counts != nil {
+				count = c.Counts[i]
+			}
+			resp.Cells = append(resp.Cells, Cell{
+				Members: members,
+				Value:   agg.Apply(c.Vals[i], count),
+				Sum:     c.Vals[i],
+				Count:   count,
+			})
+		}
+	}
+	return resp
+}
+
+// Close stops the listener and closes active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a middle-tier client. It is safe for concurrent use; requests
+// are serialized over one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+}
+
+// Dial connects to a middle-tier server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mtier: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}, nil
+}
+
+// Query runs one mdq query on the middle tier.
+func (c *Client) Query(src string) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, errors.New("mtier: client is closed")
+	}
+	if err := c.enc.Encode(&Request{Query: src}); err != nil {
+		return nil, fmt.Errorf("mtier: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = errors.New("server closed the connection")
+		}
+		return nil, fmt.Errorf("mtier: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("mtier: remote: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

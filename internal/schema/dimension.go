@@ -1,0 +1,232 @@
+// Package schema models multidimensional OLAP schemas: dimensions with
+// aggregation hierarchies and the member-level mappings between hierarchy
+// levels.
+//
+// Level numbering follows the paper ("Aggregate Aware Caching for
+// Multi-Dimensional Queries", Deshpande & Naughton, EDBT 2000): a dimension
+// with hierarchy size h has levels 0..h, where level h is the most detailed
+// (base) level and level 0 is ALL — the dimension aggregated away to a single
+// member.
+package schema
+
+import "fmt"
+
+// Dimension is one dimension of a multidimensional schema together with its
+// aggregation hierarchy. Members at every level are identified by dense
+// integer ids in [0, Card(level)). Members are hierarchically ordered: all
+// children of one parent occupy a contiguous id range, and parent ids are
+// non-decreasing in child id. This ordering is what makes range-based
+// chunking closed under aggregation (see package chunk).
+type Dimension struct {
+	name string
+	// levelNames[l] names level l; levelNames[0] == "ALL".
+	levelNames []string
+	// card[l] is the number of members at level l; card[0] == 1.
+	card []int
+	// parentOf[l][m] is the member id at level l-1 of member m at level l.
+	// parentOf[0] is nil.
+	parentOf [][]int32
+	// firstChild[l][p] is the smallest member id at level l+1 whose parent is
+	// p; has Card(l)+1 entries so firstChild[l][p+1] bounds p's child range.
+	// firstChild[h] is nil.
+	firstChild [][]int32
+}
+
+// HierarchySpec describes one hierarchy level of a dimension when building it
+// with NewDimension. Levels are listed from most aggregated (just below ALL)
+// to most detailed.
+type HierarchySpec struct {
+	Name string
+	// Card is the number of members at this level.
+	Card int
+	// ParentOf optionally maps each member id to its parent id at the level
+	// above. If nil, members are distributed uniformly over the parents
+	// (Card must then be a multiple of the parent level's cardinality).
+	ParentOf []int32
+}
+
+// NewDimension builds a dimension named name from hierarchy levels given from
+// most aggregated to most detailed. The implicit ALL level (one member) is
+// added at level 0. It returns an error if a level's cardinality is invalid,
+// a parent mapping is out of range, not monotone non-decreasing, or not
+// surjective, or if a nil mapping is requested with a non-divisible
+// cardinality.
+func NewDimension(name string, levels []HierarchySpec) (*Dimension, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: dimension name must not be empty")
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("schema: dimension %q needs at least one hierarchy level", name)
+	}
+	d := &Dimension{
+		name:       name,
+		levelNames: make([]string, 1, len(levels)+1),
+		card:       make([]int, 1, len(levels)+1),
+		parentOf:   make([][]int32, 1, len(levels)+1),
+	}
+	d.levelNames[0] = "ALL"
+	d.card[0] = 1
+	for i, spec := range levels {
+		l := i + 1 // level number being added
+		if spec.Name == "" {
+			return nil, fmt.Errorf("schema: dimension %q level %d has no name", name, l)
+		}
+		if spec.Card <= 0 {
+			return nil, fmt.Errorf("schema: dimension %q level %q has cardinality %d", name, spec.Name, spec.Card)
+		}
+		parentCard := d.card[l-1]
+		if spec.Card < parentCard {
+			return nil, fmt.Errorf("schema: dimension %q level %q cardinality %d is below its parent level's %d",
+				name, spec.Name, spec.Card, parentCard)
+		}
+		parents := spec.ParentOf
+		if parents == nil {
+			if spec.Card%parentCard != 0 {
+				return nil, fmt.Errorf("schema: dimension %q level %q cardinality %d is not a multiple of %d; supply an explicit ParentOf",
+					name, spec.Name, spec.Card, parentCard)
+			}
+			fanout := spec.Card / parentCard
+			parents = make([]int32, spec.Card)
+			for m := range parents {
+				parents[m] = int32(m / fanout)
+			}
+		} else {
+			if len(parents) != spec.Card {
+				return nil, fmt.Errorf("schema: dimension %q level %q: ParentOf has %d entries, want %d",
+					name, spec.Name, len(parents), spec.Card)
+			}
+			parents = append([]int32(nil), parents...) // defensive copy
+			if err := checkParentMap(parents, parentCard); err != nil {
+				return nil, fmt.Errorf("schema: dimension %q level %q: %w", name, spec.Name, err)
+			}
+		}
+		d.levelNames = append(d.levelNames, spec.Name)
+		d.card = append(d.card, spec.Card)
+		d.parentOf = append(d.parentOf, parents)
+	}
+	d.buildFirstChild()
+	return d, nil
+}
+
+// MustNewDimension is NewDimension but panics on error. Intended for
+// statically-known schemas such as the APB-1 presets.
+func MustNewDimension(name string, levels []HierarchySpec) *Dimension {
+	d, err := NewDimension(name, levels)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// checkParentMap validates that parents is a hierarchically ordered and
+// surjective mapping onto [0, parentCard).
+func checkParentMap(parents []int32, parentCard int) error {
+	prev := int32(0)
+	for m, p := range parents {
+		if p < 0 || int(p) >= parentCard {
+			return fmt.Errorf("member %d has parent %d outside [0,%d)", m, p, parentCard)
+		}
+		if p < prev {
+			return fmt.Errorf("member %d has parent %d < previous parent %d; members must be hierarchically ordered", m, p, prev)
+		}
+		if p > prev+1 {
+			return fmt.Errorf("parent %d is skipped; parents must be surjective", prev+1)
+		}
+		prev = p
+	}
+	if int(prev) != parentCard-1 {
+		return fmt.Errorf("parent %d has no members", parentCard-1)
+	}
+	return nil
+}
+
+func (d *Dimension) buildFirstChild() {
+	h := d.Hierarchy()
+	d.firstChild = make([][]int32, h+1)
+	for l := 0; l < h; l++ {
+		pc := d.card[l]
+		fc := make([]int32, pc+1)
+		parents := d.parentOf[l+1]
+		// parents is non-decreasing; record where each parent's run starts.
+		next := int32(0)
+		for m := 0; m < len(parents); m++ {
+			for next <= parents[m] {
+				fc[next] = int32(m)
+				next++
+			}
+		}
+		for int(next) <= pc {
+			fc[next] = int32(len(parents))
+			next++
+		}
+		d.firstChild[l] = fc
+	}
+}
+
+// Name returns the dimension's name.
+func (d *Dimension) Name() string { return d.name }
+
+// Hierarchy returns the hierarchy size h: the number of levels below ALL.
+// Valid levels are 0..h.
+func (d *Dimension) Hierarchy() int { return len(d.card) - 1 }
+
+// Card returns the number of members at level l.
+func (d *Dimension) Card(l int) int { return d.card[l] }
+
+// LevelName returns the name of level l ("ALL" for level 0).
+func (d *Dimension) LevelName(l int) string { return d.levelNames[l] }
+
+// LevelByName returns the level number with the given name.
+func (d *Dimension) LevelByName(name string) (int, bool) {
+	for l, n := range d.levelNames {
+		if n == name {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// Parent returns the parent member at level l-1 of member m at level l.
+// l must be ≥ 1.
+func (d *Dimension) Parent(l int, m int32) int32 {
+	if l == 1 {
+		return 0 // ALL
+	}
+	return d.parentOf[l][m]
+}
+
+// Ancestor returns the ancestor at level to of member m at level from.
+// It requires to ≤ from.
+func (d *Dimension) Ancestor(from, to int, m int32) int32 {
+	for l := from; l > to; l-- {
+		m = d.Parent(l, m)
+	}
+	return m
+}
+
+// Children returns the half-open child id range [lo, hi) at level l+1 of
+// member p at level l. l must be < Hierarchy().
+func (d *Dimension) Children(l int, p int32) (lo, hi int32) {
+	fc := d.firstChild[l]
+	return fc[p], fc[p+1]
+}
+
+// DescendantRange returns the half-open id range at level to covered by
+// member m at level from. It requires from ≤ to.
+func (d *Dimension) DescendantRange(from, to int, m int32) (lo, hi int32) {
+	lo, hi = m, m+1
+	for l := from; l < to; l++ {
+		lo, _ = d.Children(l, lo)
+		_, hi = d.Children(l, hi-1)
+	}
+	return lo, hi
+}
+
+// MemberName returns a synthetic display name for member m at level l, such
+// as "Product:Class#17".
+func (d *Dimension) MemberName(l int, m int32) string {
+	if l == 0 {
+		return d.name + ":ALL"
+	}
+	return fmt.Sprintf("%s:%s#%d", d.name, d.levelNames[l], m)
+}

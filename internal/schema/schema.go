@@ -1,0 +1,98 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schema is an ordered collection of dimensions plus a named measure. All
+// group-by levels, chunk grids and fact tuples reference dimensions by their
+// position in the schema.
+type Schema struct {
+	dims    []*Dimension
+	measure string
+	byName  map[string]int
+}
+
+// New builds a schema over the given dimensions. measure names the single
+// additive measure (e.g. "UnitSales"). Dimension names must be unique.
+func New(measure string, dims ...*Dimension) (*Schema, error) {
+	if measure == "" {
+		return nil, fmt.Errorf("schema: measure name must not be empty")
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("schema: at least one dimension is required")
+	}
+	s := &Schema{dims: dims, measure: measure, byName: make(map[string]int, len(dims))}
+	for i, d := range dims {
+		if d == nil {
+			return nil, fmt.Errorf("schema: dimension %d is nil", i)
+		}
+		if _, dup := s.byName[d.Name()]; dup {
+			return nil, fmt.Errorf("schema: duplicate dimension name %q", d.Name())
+		}
+		s.byName[d.Name()] = i
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(measure string, dims ...*Dimension) *Schema {
+	s, err := New(measure, dims...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumDims returns the number of dimensions.
+func (s *Schema) NumDims() int { return len(s.dims) }
+
+// Dim returns dimension d.
+func (s *Schema) Dim(d int) *Dimension { return s.dims[d] }
+
+// DimByName returns the index of the dimension with the given name.
+func (s *Schema) DimByName(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// Measure returns the measure name.
+func (s *Schema) Measure() string { return s.measure }
+
+// HierarchySizes returns the per-dimension hierarchy sizes h_d. The group-by
+// lattice is the cross product of levels 0..h_d.
+func (s *Schema) HierarchySizes() []int {
+	hs := make([]int, len(s.dims))
+	for i, d := range s.dims {
+		hs[i] = d.Hierarchy()
+	}
+	return hs
+}
+
+// BaseLevel returns the most detailed level vector (h_1, …, h_n).
+func (s *Schema) BaseLevel() []int { return s.HierarchySizes() }
+
+// LevelString formats a level vector like "(Product:Class, Time:Month,
+// Channel:ALL)" for diagnostics.
+func (s *Schema) LevelString(level []int) string {
+	parts := make([]string, len(level))
+	for d, l := range level {
+		parts[d] = s.dims[d].Name() + ":" + s.dims[d].LevelName(l)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// CheckLevel validates that level is a well-formed level vector for this
+// schema.
+func (s *Schema) CheckLevel(level []int) error {
+	if len(level) != len(s.dims) {
+		return fmt.Errorf("schema: level vector has %d entries, want %d", len(level), len(s.dims))
+	}
+	for d, l := range level {
+		if l < 0 || l > s.dims[d].Hierarchy() {
+			return fmt.Errorf("schema: dimension %s level %d outside [0,%d]", s.dims[d].Name(), l, s.dims[d].Hierarchy())
+		}
+	}
+	return nil
+}

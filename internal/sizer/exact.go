@@ -1,0 +1,109 @@
+package sizer
+
+import (
+	"aggcache/internal/chunk"
+	"aggcache/internal/data"
+	"aggcache/internal/lattice"
+)
+
+// ComputeExact computes the exact per-chunk cell counts of every group-by of
+// the grid for the given fact table, by aggregating each group-by from its
+// smallest already-computed lattice parent (the classic smallest-parent cube
+// traversal of [AAD+96]). It is meant for small and medium scales and for
+// oracle checks; use Estimate for large datasets.
+func ComputeExact(g *chunk.Grid, tab *data.Table) *Exact {
+	lat := g.Lattice()
+	sch := g.Schema()
+	nd := sch.NumDims()
+	n := lat.NumNodes()
+
+	// Per-group-by global cell encodings: mixed-radix over the member
+	// cardinalities at the group-by's levels.
+	strides := make([][]uint64, n)
+	cards := make([][]uint64, n)
+	for id := 0; id < n; id++ {
+		lv := lat.Level(lattice.ID(id))
+		st := make([]uint64, nd)
+		cd := make([]uint64, nd)
+		s := uint64(1)
+		for d := nd - 1; d >= 0; d-- {
+			st[d] = s
+			cd[d] = uint64(sch.Dim(d).Card(lv[d]))
+			s *= cd[d]
+		}
+		strides[id] = st
+		cards[id] = cd
+	}
+	encode := func(id lattice.ID, members []int32) uint64 {
+		k := uint64(0)
+		for d, m := range members {
+			k += uint64(m) * strides[id][d]
+		}
+		return k
+	}
+	decode := func(id lattice.ID, key uint64, dst []int32) {
+		for d := 0; d < nd; d++ {
+			dst[d] = int32(key / strides[id][d] % cards[id][d])
+		}
+	}
+
+	sizes := make(map[lattice.ID][]int64, n)
+	countChunks := func(id lattice.ID, set map[uint64]struct{}) {
+		cnt := make([]int64, g.NumChunks(id))
+		members := make([]int32, nd)
+		for key := range set {
+			decode(id, key, members)
+			num, _ := g.ChunkOfCell(id, members)
+			cnt[num]++
+		}
+		sizes[id] = cnt
+	}
+
+	cells := make(map[lattice.ID]map[uint64]struct{}, n)
+	refs := make([]int, n)
+	for id := 0; id < n; id++ {
+		refs[id] = len(lat.Children(lattice.ID(id)))
+	}
+
+	// Base group-by from the fact table.
+	base := lat.Base()
+	bs := make(map[uint64]struct{}, tab.Len())
+	for i := 0; i < tab.Len(); i++ {
+		bs[encode(base, tab.Row(i))] = struct{}{}
+	}
+	cells[base] = bs
+	countChunks(base, bs)
+
+	members := make([]int32, nd)
+	for _, id := range lat.TopoDetailedFirst() {
+		if id == base {
+			continue
+		}
+		// Smallest computed parent.
+		var best lattice.ID = -1
+		for _, p := range lat.Parents(id) {
+			if best < 0 || len(cells[p]) < len(cells[best]) {
+				best = p
+			}
+		}
+		d, _ := lat.StepDim(id, best)
+		pl := lat.LevelAt(best, d)
+		dim := sch.Dim(d)
+		set := make(map[uint64]struct{}, len(cells[best])/2+1)
+		for key := range cells[best] {
+			decode(best, key, members)
+			members[d] = dim.Parent(pl, members[d])
+			set[encode(id, members)] = struct{}{}
+		}
+		cells[id] = set
+		countChunks(id, set)
+		// Release parent sets no longer needed.
+		for _, p := range lat.Parents(id) {
+			refs[p]--
+			if refs[p] == 0 {
+				delete(cells, p)
+			}
+		}
+	}
+	return NewExact(sizes)
+}

@@ -1,0 +1,158 @@
+// Package sizer estimates (or computes exactly) the number of materialized
+// cells of every chunk at every group-by. Sizes drive the linear aggregation
+// cost model of §5 of the paper: the cost of computing a chunk is the number
+// of tuples scanned, and the tuples scanned when aggregating a chunk is that
+// chunk's cell count.
+package sizer
+
+import (
+	"math"
+
+	"aggcache/internal/chunk"
+	"aggcache/internal/lattice"
+)
+
+// Sizer reports the expected number of materialized cells of a chunk. The
+// value is the size of the chunk's result when aggregated — the tuples that
+// a consumer must scan.
+type Sizer interface {
+	// ChunkCells returns the (estimated or exact) cell count of chunk num of
+	// group-by gb. It always returns at least 1 for a non-empty dataset so
+	// path costs stay strictly positive.
+	ChunkCells(gb lattice.ID, num int) int64
+	// GroupByCells returns the cell count of the whole group-by.
+	GroupByCells(gb lattice.ID) int64
+}
+
+// Estimate is a probabilistic Sizer. It assumes base tuples are spread
+// uniformly over the base cross product and applies the standard
+// distinct-count ("birthday") estimate: a chunk with dense capacity C
+// receiving n tuples materializes C·(1−(1−1/C)^n) cells.
+type Estimate struct {
+	grid *chunk.Grid
+	rows int64
+	// baseCells = total dense capacity of the base cross product.
+	baseCells float64
+	// cache[gb][num]; built lazily per group-by.
+	cache map[lattice.ID][]int64
+	gbTot map[lattice.ID]int64
+}
+
+// NewEstimate returns an Estimate for rows base tuples over grid.
+func NewEstimate(grid *chunk.Grid, rows int64) *Estimate {
+	sch := grid.Schema()
+	bc := 1.0
+	for d := 0; d < sch.NumDims(); d++ {
+		bc *= float64(sch.Dim(d).Card(sch.Dim(d).Hierarchy()))
+	}
+	return &Estimate{
+		grid:      grid,
+		rows:      rows,
+		baseCells: bc,
+		cache:     make(map[lattice.ID][]int64),
+		gbTot:     make(map[lattice.ID]int64),
+	}
+}
+
+// ChunkCells implements Sizer.
+func (e *Estimate) ChunkCells(gb lattice.ID, num int) int64 {
+	sizes, ok := e.cache[gb]
+	if !ok {
+		sizes = e.buildGroupBy(gb)
+	}
+	return sizes[num]
+}
+
+// GroupByCells implements Sizer.
+func (e *Estimate) GroupByCells(gb lattice.ID) int64 {
+	if _, ok := e.cache[gb]; !ok {
+		e.buildGroupBy(gb)
+	}
+	return e.gbTot[gb]
+}
+
+func (e *Estimate) buildGroupBy(gb lattice.ID) []int64 {
+	n := e.grid.NumChunks(gb)
+	sizes := make([]int64, n)
+	var tot int64
+	for num := 0; num < n; num++ {
+		sizes[num] = e.estimateChunk(gb, num)
+		tot += sizes[num]
+	}
+	e.cache[gb] = sizes
+	e.gbTot[gb] = tot
+	return sizes
+}
+
+func (e *Estimate) estimateChunk(gb lattice.ID, num int) int64 {
+	g := e.grid
+	lat := g.Lattice()
+	sch := g.Schema()
+	lv := lat.Level(gb)
+	var cbuf [16]int32
+	coords := g.Coords(gb, num, cbuf[:0])
+	// Dense capacity of the chunk and the fraction of base tuples that land
+	// in its region.
+	capacity := 1.0
+	frac := 1.0
+	for d, c := range coords {
+		r := g.MemberRange(d, lv[d], c)
+		capacity *= float64(r.Hi - r.Lo)
+		dim := sch.Dim(d)
+		blo, bhi := dim.DescendantRange(lv[d], dim.Hierarchy(), r.Lo)
+		_, bhi = dim.DescendantRange(lv[d], dim.Hierarchy(), r.Hi-1)
+		frac *= float64(bhi-blo) / float64(dim.Card(dim.Hierarchy()))
+	}
+	n := float64(e.rows) * frac
+	cells := distinct(capacity, n)
+	if cells < 1 {
+		cells = 1
+	}
+	return int64(math.Round(cells))
+}
+
+// distinct returns the expected number of distinct cells when n tuples are
+// thrown uniformly into c slots.
+func distinct(c, n float64) float64 {
+	if c <= 1 {
+		return 1
+	}
+	if n <= 0 {
+		return 0
+	}
+	// c * (1 - (1-1/c)^n), computed stably.
+	return c * -math.Expm1(n*math.Log1p(-1/c))
+}
+
+// Exact is a Sizer holding exact per-chunk cell counts, computed from the
+// actual dataset by package backend or by Compute. It is deterministic and
+// intended for small/medium scales and for oracle checks in tests.
+type Exact struct {
+	sizes map[lattice.ID][]int64
+	tot   map[lattice.ID]int64
+}
+
+// NewExact wraps precomputed per-chunk cell counts.
+func NewExact(sizes map[lattice.ID][]int64) *Exact {
+	t := make(map[lattice.ID]int64, len(sizes))
+	for gb, s := range sizes {
+		var sum int64
+		for _, v := range s {
+			sum += v
+		}
+		t[gb] = sum
+	}
+	return &Exact{sizes: sizes, tot: t}
+}
+
+// ChunkCells implements Sizer.
+func (x *Exact) ChunkCells(gb lattice.ID, num int) int64 {
+	v := x.sizes[gb][num]
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// GroupByCells implements Sizer.
+func (x *Exact) GroupByCells(gb lattice.ID) int64 { return x.tot[gb] }

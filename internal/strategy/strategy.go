@@ -1,0 +1,128 @@
+// Package strategy implements the paper's cache lookup strategies: given a
+// chunk of a group-by, decide whether it can be answered from the cache —
+// directly or by aggregating other cached chunks — and produce an executable
+// aggregation plan.
+//
+//   - ESM  (§3.1): exhaustive search over all lattice paths, first hit wins.
+//   - ESMC (§5.1): exhaustive search returning the cheapest plan.
+//   - VCM  (§4):   virtual counts make the computability test O(1); one
+//     successful path is materialized.
+//   - VCMC (§5.2): virtual counts plus Cost/BestParent arrays; the cheapest
+//     plan is materialized in time linear in the plan size.
+//   - NoAgg:       a conventional cache (exact chunk hits only), the paper's
+//     "no aggregation" baseline.
+//
+// Strategies register as the cache's Listener so inserts and evictions keep
+// their summary state (virtual counts, costs) current.
+package strategy
+
+import (
+	"errors"
+	"time"
+
+	"aggcache/internal/cache"
+	"aggcache/internal/chunk"
+	"aggcache/internal/lattice"
+)
+
+// ErrBudget is returned by budget-limited strategies when a single Find
+// visits more nodes than allowed. The engine treats it as "not computable"
+// and reports the truncation; it exists because faithful ESM/ESMC lookups
+// are exponential (the paper measured 19,826 s for one ESMC lookup).
+var ErrBudget = errors.New("strategy: lookup budget exceeded")
+
+// Plan describes how to obtain one chunk from the cache. Either the chunk is
+// Present, or it is aggregated from the Inputs — the full set of its chunks
+// at the parent group-by Via.
+type Plan struct {
+	GB      lattice.ID
+	Num     int
+	Present bool
+	Via     lattice.ID
+	Inputs  []*Plan
+	// Cost is the plan's estimated aggregation cost in tuples scanned
+	// (linear cost model, §5); 0 for present chunks.
+	Cost int64
+}
+
+// Leaves appends the cache keys of all present leaf chunks of the plan —
+// the group of chunks the two-level policy reinforces after use.
+func (p *Plan) Leaves(dst []cache.Key) []cache.Key {
+	if p.Present {
+		return append(dst, cache.Key{GB: p.GB, Num: int32(p.Num)})
+	}
+	for _, in := range p.Inputs {
+		dst = in.Leaves(dst)
+	}
+	return dst
+}
+
+// Nodes returns the number of plan nodes (present leaves and intermediate
+// aggregations).
+func (p *Plan) Nodes() int {
+	n := 1
+	for _, in := range p.Inputs {
+		n += in.Nodes()
+	}
+	return n
+}
+
+// Maint reports cumulative maintenance work a strategy has performed in its
+// OnInsert/OnEvict handlers: state updates applied and wall time spent.
+// Callers snapshot and diff it to attribute per-query update cost
+// (Figure 10's "update" component, Table 2).
+type Maint struct {
+	Updates int64
+	Time    time.Duration
+}
+
+// Sub returns m - o.
+func (m Maint) Sub(o Maint) Maint {
+	return Maint{Updates: m.Updates - o.Updates, Time: m.Time - o.Time}
+}
+
+// Strategy is a cache lookup strategy. Implementations are not safe for
+// concurrent use; the engine serializes access.
+type Strategy interface {
+	// Name identifies the strategy in reports ("ESM", "VCMC", …).
+	Name() string
+	// Find reports whether chunk num of gb is answerable from the cache and
+	// returns an executable plan. It returns ErrBudget when a node budget
+	// was exhausted before an answer was established.
+	Find(gb lattice.ID, num int) (*Plan, bool, error)
+	// OnInsert and OnEvict implement cache.Listener to maintain summary
+	// state.
+	OnInsert(e *cache.Entry)
+	OnEvict(e *cache.Entry)
+	// Overhead returns the strategy's summary-state space in bytes using the
+	// paper's accounting (Table 3: 1 byte per count, 4 per cost, 1 per best
+	// parent).
+	Overhead() int64
+	// Maintenance returns cumulative maintenance counters.
+	Maintenance() Maint
+	// LastVisited returns the number of nodes visited by the most recent
+	// Find — the lookup-complexity metric behind Table 1.
+	LastVisited() int64
+}
+
+// presence tracks which chunks are resident, one bitset per group-by.
+// Strategies keep their own copy (kept current via listener callbacks) so
+// probes never touch the cache's replacement state.
+type presence struct {
+	bits [][]uint64
+}
+
+func newPresence(g *chunk.Grid) *presence {
+	n := g.Lattice().NumNodes()
+	p := &presence{bits: make([][]uint64, n)}
+	for id := 0; id < n; id++ {
+		p.bits[id] = make([]uint64, (g.NumChunks(lattice.ID(id))+63)/64)
+	}
+	return p
+}
+
+func (p *presence) set(gb lattice.ID, num int)   { p.bits[gb][num/64] |= 1 << (num % 64) }
+func (p *presence) clear(gb lattice.ID, num int) { p.bits[gb][num/64] &^= 1 << (num % 64) }
+func (p *presence) has(gb lattice.ID, num int) bool {
+	return p.bits[gb][num/64]&(1<<(num%64)) != 0
+}

@@ -1,0 +1,175 @@
+package strategy
+
+import (
+	"fmt"
+
+	"aggcache/internal/cache"
+	"aggcache/internal/chunk"
+	"aggcache/internal/lattice"
+)
+
+// VCM is the Virtual Count based Method (§4). For every chunk of every
+// group-by it maintains a count:
+//
+//	count = (1 if the chunk is resident) +
+//	        (number of lattice parents through which a complete
+//	         computation path exists)
+//
+// Property 1: count ≠ 0 ⇔ the chunk is answerable from the cache. Lookups
+// therefore reject misses in O(1) and explore exactly one successful path on
+// hits; the price is count maintenance on insert and eviction
+// (VCM_InsertUpdateCount and its eviction dual).
+type VCM struct {
+	grid    *chunk.Grid
+	lat     *lattice.Lattice
+	present *presence
+	counts  [][]int32
+	maint   Maint
+	visited int64
+}
+
+// NewVCM creates a VCM strategy with all-zero counts (empty cache).
+func NewVCM(g *chunk.Grid) *VCM {
+	lat := g.Lattice()
+	s := &VCM{grid: g, lat: lat, present: newPresence(g), counts: make([][]int32, lat.NumNodes())}
+	for id := range s.counts {
+		s.counts[id] = make([]int32, g.NumChunks(lattice.ID(id)))
+	}
+	return s
+}
+
+// Name implements Strategy.
+func (s *VCM) Name() string { return "VCM" }
+
+// Count exposes a chunk's virtual count (tests and diagnostics).
+func (s *VCM) Count(gb lattice.ID, num int) int32 { return s.counts[gb][num] }
+
+// Find implements Strategy. A zero count returns immediately; otherwise
+// exactly one successful path is expanded into a plan.
+func (s *VCM) Find(gb lattice.ID, num int) (*Plan, bool, error) {
+	s.visited = 0
+	plan := s.build(gb, num)
+	return plan, plan != nil, nil
+}
+
+func (s *VCM) build(gb lattice.ID, num int) *Plan {
+	s.visited++
+	if s.counts[gb][num] == 0 {
+		return nil
+	}
+	if s.present.has(gb, num) {
+		return &Plan{GB: gb, Num: num, Present: true}
+	}
+	var nums []int
+	for _, parent := range s.lat.Parents(gb) {
+		nums = s.grid.ParentChunks(gb, num, parent, nums[:0])
+		ok := true
+		for _, cn := range nums {
+			if s.counts[parent][cn] == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		inputs := make([]*Plan, 0, len(nums))
+		for _, cn := range nums {
+			sub := s.build(parent, cn)
+			if sub == nil {
+				// Property 1 guarantees this cannot happen.
+				panic(fmt.Sprintf("strategy: VCM count invariant violated at gb %d chunk %d", parent, cn))
+			}
+			inputs = append(inputs, sub)
+		}
+		return &Plan{GB: gb, Num: num, Via: parent, Inputs: inputs}
+	}
+	panic(fmt.Sprintf("strategy: VCM count %d at gb %d chunk %d but no successful parent",
+		s.counts[gb][num], gb, num))
+}
+
+// OnInsert implements cache.Listener: the paper's VCM_InsertUpdateCount.
+func (s *VCM) OnInsert(e *cache.Entry) {
+	timeMaint(&s.maint, func() {
+		gb, num := e.Key.GB, int(e.Key.Num)
+		s.present.set(gb, num)
+		s.inc(gb, num)
+	})
+}
+
+// inc increments a chunk's count and, when the chunk has *newly* become
+// computable, propagates to every child whose sibling set through this
+// group-by just completed.
+func (s *VCM) inc(gb lattice.ID, num int) {
+	s.maint.Updates++
+	s.counts[gb][num]++
+	if s.counts[gb][num] > 1 {
+		return // was already computable; children unaffected
+	}
+	var nums []int
+	for _, child := range s.lat.Children(gb) {
+		ccn := s.grid.ChildChunk(gb, num, child)
+		nums = s.grid.ParentChunks(child, ccn, gb, nums[:0])
+		complete := true
+		for _, cn := range nums {
+			if s.counts[gb][cn] == 0 {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			s.inc(child, ccn)
+		}
+	}
+}
+
+// OnEvict implements cache.Listener: the eviction dual of insert (the paper
+// notes it is "similar in implementation and complexity").
+func (s *VCM) OnEvict(e *cache.Entry) {
+	timeMaint(&s.maint, func() {
+		gb, num := e.Key.GB, int(e.Key.Num)
+		s.present.clear(gb, num)
+		s.dec(gb, num)
+	})
+}
+
+// dec decrements a chunk's count; when the chunk just stopped being
+// computable, every child whose path through this group-by was previously
+// complete loses that path.
+func (s *VCM) dec(gb lattice.ID, num int) {
+	s.maint.Updates++
+	s.counts[gb][num]--
+	if s.counts[gb][num] > 0 {
+		return // still computable; children unaffected
+	}
+	if s.counts[gb][num] < 0 {
+		panic(fmt.Sprintf("strategy: VCM count below zero at gb %d chunk %d", gb, num))
+	}
+	var nums []int
+	for _, child := range s.lat.Children(gb) {
+		ccn := s.grid.ChildChunk(gb, num, child)
+		nums = s.grid.ParentChunks(child, ccn, gb, nums[:0])
+		// The path through gb existed before this chunk went to zero iff all
+		// of its siblings are (still) computable.
+		complete := true
+		for _, cn := range nums {
+			if cn != num && s.counts[gb][cn] == 0 {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			s.dec(child, ccn)
+		}
+	}
+}
+
+// Overhead implements Strategy: one count byte per chunk over all levels
+// (Table 3 accounting).
+func (s *VCM) Overhead() int64 { return s.grid.TotalChunks() }
+
+// Maintenance implements Strategy.
+func (s *VCM) Maintenance() Maint { return s.maint }
+
+// LastVisited implements Strategy.
+func (s *VCM) LastVisited() int64 { return s.visited }

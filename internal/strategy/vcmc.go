@@ -1,0 +1,239 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+
+	"aggcache/internal/cache"
+	"aggcache/internal/chunk"
+	"aggcache/internal/lattice"
+	"aggcache/internal/sizer"
+)
+
+// infCost marks a chunk that is not computable from the cache.
+const infCost = math.MaxInt64
+
+// VCMC is the cost-based virtual count method (§5.2). In addition to VCM's
+// counts it maintains, per chunk, the least cost of computing it from the
+// cache (Cost array) and the lattice parent through which that least-cost
+// path passes (BestParent array):
+//
+//	cost = 0                                   if the chunk is resident
+//	     = min over parents P with a complete
+//	       path:  Σ over the chunk's inputs c
+//	       at P of (cost(c) + size(c))         otherwise
+//
+// Find is O(plan size): it just follows BestParent pointers. CostEstimate
+// answers "how expensive would this chunk be?" in O(1) without aggregating —
+// the hook the paper offers to a cost-based optimizer. Maintenance
+// propagates on insert/evict whenever computability or least cost changes.
+type VCMC struct {
+	grid    *chunk.Grid
+	lat     *lattice.Lattice
+	sizes   sizer.Sizer
+	present *presence
+	counts  [][]int32
+	costs   [][]int64
+	best    [][]int16 // index into lat.Parents(gb); -1 none, -2 present
+	maint   Maint
+	visited int64
+	// levelSum[gb] orders propagation: children always have a strictly
+	// smaller sum, so processing pending nodes by descending sum recomputes
+	// each affected chunk exactly once per maintenance operation.
+	levelSum []int
+	maxSum   int
+}
+
+// NewVCMC creates a VCMC strategy; sizes supplies the cost model's chunk
+// sizes.
+func NewVCMC(g *chunk.Grid, sizes sizer.Sizer) *VCMC {
+	lat := g.Lattice()
+	n := lat.NumNodes()
+	s := &VCMC{
+		grid:    g,
+		lat:     lat,
+		sizes:   sizes,
+		present: newPresence(g),
+		counts:  make([][]int32, n),
+		costs:   make([][]int64, n),
+		best:    make([][]int16, n),
+	}
+	s.levelSum = make([]int, n)
+	for id := 0; id < n; id++ {
+		sum := 0
+		for _, l := range lat.Level(lattice.ID(id)) {
+			sum += l
+		}
+		s.levelSum[id] = sum
+		if sum > s.maxSum {
+			s.maxSum = sum
+		}
+	}
+	for id := 0; id < n; id++ {
+		nc := g.NumChunks(lattice.ID(id))
+		s.counts[id] = make([]int32, nc)
+		s.costs[id] = make([]int64, nc)
+		s.best[id] = make([]int16, nc)
+		for i := 0; i < nc; i++ {
+			s.costs[id][i] = infCost
+			s.best[id][i] = -1
+		}
+	}
+	return s
+}
+
+// Name implements Strategy.
+func (s *VCMC) Name() string { return "VCMC" }
+
+// Count exposes a chunk's virtual count.
+func (s *VCMC) Count(gb lattice.ID, num int) int32 { return s.counts[gb][num] }
+
+// CostEstimate returns the least cost (in tuples scanned) of computing the
+// chunk from the cache, in constant time. ok is false when the chunk is not
+// computable. A resident chunk costs 0.
+func (s *VCMC) CostEstimate(gb lattice.ID, num int) (cost int64, ok bool) {
+	c := s.costs[gb][num]
+	if c == infCost {
+		return 0, false
+	}
+	return c, true
+}
+
+// Find implements Strategy, materializing the least-cost plan by following
+// BestParent pointers.
+func (s *VCMC) Find(gb lattice.ID, num int) (*Plan, bool, error) {
+	s.visited = 0
+	plan := s.build(gb, num)
+	return plan, plan != nil, nil
+}
+
+func (s *VCMC) build(gb lattice.ID, num int) *Plan {
+	s.visited++
+	if s.counts[gb][num] == 0 {
+		return nil
+	}
+	if s.present.has(gb, num) {
+		return &Plan{GB: gb, Num: num, Present: true}
+	}
+	bp := s.best[gb][num]
+	if bp < 0 {
+		panic(fmt.Sprintf("strategy: VCMC computable chunk without best parent (gb %d chunk %d)", gb, num))
+	}
+	parent := s.lat.Parents(gb)[bp]
+	nums := s.grid.ParentChunks(gb, num, parent, nil)
+	inputs := make([]*Plan, 0, len(nums))
+	for _, cn := range nums {
+		sub := s.build(parent, cn)
+		if sub == nil {
+			panic(fmt.Sprintf("strategy: VCMC best-parent path broken at gb %d chunk %d", parent, cn))
+		}
+		inputs = append(inputs, sub)
+	}
+	return &Plan{GB: gb, Num: num, Via: parent, Inputs: inputs, Cost: s.costs[gb][num]}
+}
+
+// OnInsert implements cache.Listener.
+func (s *VCMC) OnInsert(e *cache.Entry) {
+	timeMaint(&s.maint, func() {
+		gb, num := e.Key.GB, int(e.Key.Num)
+		s.present.set(gb, num)
+		if s.recompute(gb, num) {
+			s.propagate(gb, num)
+		}
+	})
+}
+
+// OnEvict implements cache.Listener.
+func (s *VCMC) OnEvict(e *cache.Entry) {
+	timeMaint(&s.maint, func() {
+		gb, num := e.Key.GB, int(e.Key.Num)
+		s.present.clear(gb, num)
+		if s.recompute(gb, num) {
+			s.propagate(gb, num)
+		}
+	})
+}
+
+// nodeRef identifies one chunk of one group-by during propagation.
+type nodeRef struct {
+	gb  lattice.ID
+	num int
+}
+
+// propagate re-derives every child chunk affected by a computability or
+// least-cost change of (gb, num). Pending nodes are processed in descending
+// level-sum order, so each affected chunk is recomputed exactly once, after
+// all of its parents have settled — avoiding the exponential re-derivation a
+// naive depth-first walk would do through lattice diamonds.
+func (s *VCMC) propagate(gb lattice.ID, num int) {
+	pending := make([]map[nodeRef]struct{}, s.maxSum+1)
+	enqueue := func(gb lattice.ID, num int) {
+		for _, child := range s.lat.Children(gb) {
+			sum := s.levelSum[child]
+			if pending[sum] == nil {
+				pending[sum] = make(map[nodeRef]struct{})
+			}
+			pending[sum][nodeRef{child, s.grid.ChildChunk(gb, num, child)}] = struct{}{}
+		}
+	}
+	enqueue(gb, num)
+	for sum := s.levelSum[gb] - 1; sum >= 0; sum-- {
+		for ref := range pending[sum] {
+			if s.recompute(ref.gb, ref.num) {
+				enqueue(ref.gb, ref.num)
+			}
+		}
+	}
+}
+
+// recompute re-derives count/cost/best of one chunk from the current state
+// of its lattice parents and its own presence. It reports whether the
+// chunk's externally visible state (computability or least cost) changed.
+func (s *VCMC) recompute(gb lattice.ID, num int) bool {
+	s.maint.Updates++
+	oldCount, oldCost := s.counts[gb][num], s.costs[gb][num]
+	newCount := int32(0)
+	newCost := int64(infCost)
+	newBest := int16(-1)
+	if s.present.has(gb, num) {
+		newCount++
+		newCost = 0
+		newBest = -2
+	}
+	var nums []int
+	for pi, parent := range s.lat.Parents(gb) {
+		nums = s.grid.ParentChunks(gb, num, parent, nums[:0])
+		complete := true
+		cand := int64(0)
+		for _, cn := range nums {
+			c := s.costs[parent][cn]
+			if c == infCost {
+				complete = false
+				break
+			}
+			cand += c + s.sizes.ChunkCells(parent, cn)
+		}
+		if !complete {
+			continue
+		}
+		newCount++
+		if newBest != -2 && cand < newCost {
+			newCost = cand
+			newBest = int16(pi)
+		}
+	}
+	s.counts[gb][num] = newCount
+	s.costs[gb][num] = newCost
+	s.best[gb][num] = newBest
+	return (oldCount == 0) != (newCount == 0) || oldCost != newCost
+}
+
+// Overhead implements Strategy: per chunk, 1 byte of count, 4 of cost and 1
+// of best parent (Table 3 accounting).
+func (s *VCMC) Overhead() int64 { return 6 * s.grid.TotalChunks() }
+
+// Maintenance implements Strategy.
+func (s *VCMC) Maintenance() Maint { return s.maint }
+
+// LastVisited implements Strategy.
+func (s *VCMC) LastVisited() int64 { return s.visited }

@@ -1,0 +1,150 @@
+// Package views implements greedy materialized-view selection over the
+// group-by lattice, after Harinarayan, Rajaraman and Ullman's "Implementing
+// Data Cubes Efficiently" (SIGMOD 1996) — the precomputation work the paper
+// builds on (§3, §5 cite [HRU96]). The backend uses it to decide which
+// aggregates to materialize; the cost-based middle tier (§5.2) then routes
+// queries between the cache and those views.
+//
+// Under the linear cost model, answering a query on group-by w from a
+// materialized view v (with w computable from v) costs size(v) tuples. The
+// greedy algorithm repeatedly materializes the view with the largest total
+// benefit: the sum, over all group-bys, of the reduction in their cheapest
+// answering cost.
+package views
+
+import (
+	"fmt"
+	"sort"
+
+	"aggcache/internal/chunk"
+	"aggcache/internal/lattice"
+	"aggcache/internal/sizer"
+)
+
+// Selection is the result of a greedy run.
+type Selection struct {
+	// Views lists the chosen group-bys in selection order (excluding the
+	// base group-by, which is always available).
+	Views []lattice.ID
+	// Benefits[i] is the total cost reduction achieved by Views[i] at the
+	// time it was chosen.
+	Benefits []int64
+	// TotalCost is Σ over all group-bys of their cheapest answering cost
+	// after materializing every chosen view.
+	TotalCost int64
+	// Bytes estimates the storage the chosen views occupy.
+	Bytes int64
+}
+
+// Greedy picks up to k views (beyond the base group-by) maximizing total
+// benefit under the linear cost model. A non-positive-benefit candidate
+// stops the selection early. maxBytes, when positive, caps the cumulative
+// estimated storage of the chosen views.
+func Greedy(g *chunk.Grid, s sizer.Sizer, k int, maxBytes int64) (*Selection, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("views: k must be non-negative, got %d", k)
+	}
+	lat := g.Lattice()
+	n := lat.NumNodes()
+	base := lat.Base()
+
+	size := make([]int64, n)
+	for id := 0; id < n; id++ {
+		size[id] = s.GroupByCells(lattice.ID(id))
+	}
+	// cost[w] = size of the smallest materialized ancestor of w.
+	cost := make([]int64, n)
+	for id := 0; id < n; id++ {
+		cost[id] = size[base]
+	}
+	cost[base] = size[base]
+
+	sel := &Selection{}
+	var usedBytes int64
+	for len(sel.Views) < k {
+		bestView := lattice.ID(-1)
+		var bestBenefit int64
+		for v := lattice.ID(0); int(v) < n; v++ {
+			if v == base {
+				continue
+			}
+			var benefit int64
+			for w := lattice.ID(0); int(w) < n; w++ {
+				if lat.ComputableFrom(w, v) && cost[w] > size[v] {
+					benefit += cost[w] - size[v]
+				}
+			}
+			if benefit > bestBenefit {
+				bestBenefit = benefit
+				bestView = v
+			}
+		}
+		if bestView < 0 || bestBenefit <= 0 {
+			break
+		}
+		vBytes := size[bestView] * chunk.CellBytes
+		if maxBytes > 0 && usedBytes+vBytes > maxBytes {
+			// Skip views that no longer fit; since benefit is monotone in
+			// future iterations only through cost updates, stopping here is
+			// the standard budgeted-greedy behaviour.
+			break
+		}
+		usedBytes += vBytes
+		sel.Views = append(sel.Views, bestView)
+		sel.Benefits = append(sel.Benefits, bestBenefit)
+		for w := lattice.ID(0); int(w) < n; w++ {
+			if lat.ComputableFrom(w, bestView) && cost[w] > size[bestView] {
+				cost[w] = size[bestView]
+			}
+		}
+	}
+	for w := 0; w < n; w++ {
+		sel.TotalCost += cost[w]
+	}
+	sel.Bytes = usedBytes
+	return sel, nil
+}
+
+// TotalCostOf evaluates Σ cheapest answering cost for an arbitrary view set
+// (plus the base); used to compare selections and in tests.
+func TotalCostOf(g *chunk.Grid, s sizer.Sizer, views []lattice.ID) int64 {
+	lat := g.Lattice()
+	n := lat.NumNodes()
+	base := lat.Base()
+	mat := append([]lattice.ID{base}, views...)
+	var total int64
+	for w := lattice.ID(0); int(w) < n; w++ {
+		best := int64(-1)
+		for _, v := range mat {
+			if !lat.ComputableFrom(w, v) {
+				continue
+			}
+			c := s.GroupByCells(v)
+			if best < 0 || c < best {
+				best = c
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+// Describe renders the selection for reports.
+func (sel *Selection) Describe(lat *lattice.Lattice) string {
+	out := ""
+	for i, v := range sel.Views {
+		if i > 0 {
+			out += ", "
+		}
+		out += lat.LevelTupleString(v)
+	}
+	if out == "" {
+		out = "(none)"
+	}
+	return out
+}
+
+// sortIDs is a test helper kept here for reuse.
+func sortIDs(ids []lattice.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

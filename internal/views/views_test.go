@@ -1,0 +1,154 @@
+package views
+
+import (
+	"testing"
+
+	"aggcache/internal/apb"
+	"aggcache/internal/chunk"
+	"aggcache/internal/lattice"
+	"aggcache/internal/schema"
+	"aggcache/internal/sizer"
+)
+
+// fixedSizer returns hand-set group-by sizes.
+type fixedSizer map[lattice.ID]int64
+
+func (f fixedSizer) ChunkCells(gb lattice.ID, num int) int64 { return f[gb] }
+func (f fixedSizer) GroupByCells(gb lattice.ID) int64        { return f[gb] }
+
+// diamond builds the 2x2 lattice (two dimensions, hierarchy 1 each).
+func diamond(t *testing.T) *chunk.Grid {
+	t.Helper()
+	a := schema.MustNewDimension("A", []schema.HierarchySpec{{Name: "a", Card: 4}})
+	b := schema.MustNewDimension("B", []schema.HierarchySpec{{Name: "b", Card: 4}})
+	return chunk.MustNewGrid(schema.MustNew("M", a, b), [][]int{{1, 2}, {1, 2}})
+}
+
+func TestGreedyPicksSmallUsefulView(t *testing.T) {
+	g := diamond(t)
+	lat := g.Lattice()
+	// Sizes: base 100; (1,0) tiny (10), (0,1) large (90), top 1.
+	sz := fixedSizer{
+		lat.MustID(1, 1): 100,
+		lat.MustID(1, 0): 10,
+		lat.MustID(0, 1): 90,
+		lat.MustID(0, 0): 1,
+	}
+	sel, err := Greedy(g, sz, 1, 0)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if len(sel.Views) != 1 || sel.Views[0] != lat.MustID(1, 0) {
+		t.Fatalf("selected %s, want (1,0)", sel.Describe(lat))
+	}
+	// Benefit: (1,0) improves itself and (0,0): (100-10)*2 = 180; (0,1)
+	// would improve itself and (0,0): (100-90)*2 = 20.
+	if sel.Benefits[0] != 180 {
+		t.Fatalf("benefit = %d, want 180", sel.Benefits[0])
+	}
+	// Total cost after: base 100 + (1,0) 10 + (0,1) 100 + top 10 = 220.
+	if sel.TotalCost != 220 {
+		t.Fatalf("TotalCost = %d, want 220", sel.TotalCost)
+	}
+	if got := TotalCostOf(g, sz, sel.Views); got != 220 {
+		t.Fatalf("TotalCostOf = %d, want 220", got)
+	}
+}
+
+func TestGreedyStopsWhenNoBenefit(t *testing.T) {
+	g := diamond(t)
+	lat := g.Lattice()
+	// Every aggregate as large as the base: nothing helps.
+	sz := fixedSizer{
+		lat.MustID(1, 1): 100,
+		lat.MustID(1, 0): 100,
+		lat.MustID(0, 1): 100,
+		lat.MustID(0, 0): 100,
+	}
+	sel, err := Greedy(g, sz, 3, 0)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if len(sel.Views) != 0 {
+		t.Fatalf("selected %s, want none", sel.Describe(lat))
+	}
+	if sel.Describe(lat) != "(none)" {
+		t.Fatalf("Describe = %q", sel.Describe(lat))
+	}
+}
+
+func TestGreedyMonotoneImprovement(t *testing.T) {
+	cfg := apb.New(apb.ScaleTiny)
+	g, tab, err := cfg.Build(3)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sz := sizer.NewEstimate(g, int64(tab.Len()))
+	prev := TotalCostOf(g, sz, nil)
+	var views []lattice.ID
+	for k := 1; k <= 4; k++ {
+		sel, err := Greedy(g, sz, k, 0)
+		if err != nil {
+			t.Fatalf("Greedy(%d): %v", k, err)
+		}
+		cost := sel.TotalCost
+		if cost > prev {
+			t.Fatalf("k=%d: cost %d worse than %d", k, cost, prev)
+		}
+		if len(sel.Views) > k {
+			t.Fatalf("k=%d: %d views", k, len(sel.Views))
+		}
+		// Selection order benefits are non-increasing (greedy invariant).
+		for i := 1; i < len(sel.Benefits); i++ {
+			if sel.Benefits[i] > sel.Benefits[i-1] {
+				t.Fatalf("benefits not non-increasing: %v", sel.Benefits)
+			}
+		}
+		prev = cost
+		views = sel.Views
+	}
+	// The final cost matches an independent evaluation.
+	if got := TotalCostOf(g, sz, views); got != prev {
+		t.Fatalf("TotalCostOf = %d, want %d", got, prev)
+	}
+}
+
+func TestGreedyByteBudget(t *testing.T) {
+	cfg := apb.New(apb.ScaleTiny)
+	g, tab, err := cfg.Build(3)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sz := sizer.NewEstimate(g, int64(tab.Len()))
+	unbounded, _ := Greedy(g, sz, 8, 0)
+	if len(unbounded.Views) == 0 {
+		t.Skip("no beneficial views at this scale")
+	}
+	capped, _ := Greedy(g, sz, 8, 1) // 1 byte: nothing fits
+	if len(capped.Views) != 0 {
+		t.Fatalf("budget 1 byte selected %d views", len(capped.Views))
+	}
+	half, _ := Greedy(g, sz, 8, unbounded.Bytes/2+1)
+	if half.Bytes > unbounded.Bytes/2+1 {
+		t.Fatalf("budget exceeded: %d > %d", half.Bytes, unbounded.Bytes/2+1)
+	}
+}
+
+func TestGreedyErrors(t *testing.T) {
+	g := diamond(t)
+	if _, err := Greedy(g, fixedSizer{}, -1, 0); err == nil {
+		t.Fatalf("negative k: expected error")
+	}
+	sel, err := Greedy(g, fixedSizer{0: 1, 1: 1, 2: 1, 3: 1}, 0, 0)
+	if err != nil || len(sel.Views) != 0 {
+		t.Fatalf("k=0: %v %v", sel, err)
+	}
+}
+
+func TestSortIDs(t *testing.T) {
+	ids := []lattice.ID{3, 1, 2}
+	sortIDs(ids)
+	if ids[0] != 1 || ids[2] != 3 {
+		t.Fatalf("sortIDs = %v", ids)
+	}
+}

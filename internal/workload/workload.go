@@ -1,0 +1,245 @@
+// Package workload generates the paper's OLAP query streams (§7.2): a mix
+// of random, drill-down, roll-up and proximity queries. Roll-ups are the
+// queries an active cache answers by aggregation; proximity queries exercise
+// plain chunk locality; drill-downs move toward detail and usually need the
+// backend.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aggcache/internal/chunk"
+	"aggcache/internal/core"
+	"aggcache/internal/lattice"
+)
+
+// Kind labels a generated query.
+type Kind int
+
+const (
+	// KindRandom is a fresh query at a random group-by and region.
+	KindRandom Kind = iota
+	// KindDrillDown refines the previous query one level on one dimension.
+	KindDrillDown
+	// KindRollUp aggregates the previous query one level on one dimension.
+	KindRollUp
+	// KindProximity shifts the previous query's region by one chunk.
+	KindProximity
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRandom:
+		return "random"
+	case KindDrillDown:
+		return "drill-down"
+	case KindRollUp:
+		return "roll-up"
+	case KindProximity:
+		return "proximity"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Mix sets the fraction of each query kind. The paper uses 30% drill-down,
+// 30% roll-up, 30% proximity and 10% random.
+type Mix struct {
+	DrillDown, RollUp, Proximity, Random float64
+}
+
+// DefaultMix is the paper's stream composition.
+var DefaultMix = Mix{DrillDown: 0.3, RollUp: 0.3, Proximity: 0.3, Random: 0.1}
+
+func (m Mix) total() float64 { return m.DrillDown + m.RollUp + m.Proximity + m.Random }
+
+// Generator produces a deterministic query stream.
+type Generator struct {
+	grid *chunk.Grid
+	lat  *lattice.Lattice
+	rng  *rand.Rand
+	mix  Mix
+	// maxWidth bounds the per-dimension chunk extent of generated regions.
+	maxWidth int32
+	cur      core.Query
+	hasCur   bool
+}
+
+// NewGenerator creates a generator with the given mix; maxWidth bounds the
+// region extent per dimension in chunks (≥1).
+func NewGenerator(g *chunk.Grid, mix Mix, maxWidth int, seed int64) (*Generator, error) {
+	if mix.total() <= 0 {
+		return nil, fmt.Errorf("workload: mix weights must be positive")
+	}
+	if mix.DrillDown < 0 || mix.RollUp < 0 || mix.Proximity < 0 || mix.Random < 0 {
+		return nil, fmt.Errorf("workload: negative mix weight")
+	}
+	if maxWidth < 1 {
+		return nil, fmt.Errorf("workload: maxWidth must be ≥ 1, got %d", maxWidth)
+	}
+	return &Generator{
+		grid:     g,
+		lat:      g.Lattice(),
+		rng:      rand.New(rand.NewSource(seed)),
+		mix:      mix,
+		maxWidth: int32(maxWidth),
+	}, nil
+}
+
+// Next generates the next query and reports its kind. The first query is
+// always random; locality kinds that are impossible at the current position
+// (e.g. rolling up from the top) degrade to random.
+func (g *Generator) Next() (core.Query, Kind) {
+	kind := g.pick()
+	if !g.hasCur {
+		kind = KindRandom
+	}
+	var q core.Query
+	var ok bool
+	switch kind {
+	case KindDrillDown:
+		q, ok = g.drillDown()
+	case KindRollUp:
+		q, ok = g.rollUp()
+	case KindProximity:
+		q, ok = g.proximity()
+	default:
+		ok = false
+	}
+	if !ok {
+		q = g.random()
+		kind = KindRandom
+	}
+	g.cur = q
+	g.hasCur = true
+	return q, kind
+}
+
+// Stream generates n queries with their kinds.
+func (g *Generator) Stream(n int) ([]core.Query, []Kind) {
+	qs := make([]core.Query, n)
+	ks := make([]Kind, n)
+	for i := 0; i < n; i++ {
+		qs[i], ks[i] = g.Next()
+	}
+	return qs, ks
+}
+
+func (g *Generator) pick() Kind {
+	r := g.rng.Float64() * g.mix.total()
+	switch {
+	case r < g.mix.DrillDown:
+		return KindDrillDown
+	case r < g.mix.DrillDown+g.mix.RollUp:
+		return KindRollUp
+	case r < g.mix.DrillDown+g.mix.RollUp+g.mix.Proximity:
+		return KindProximity
+	}
+	return KindRandom
+}
+
+func (g *Generator) random() core.Query {
+	gb := lattice.ID(g.rng.Intn(g.lat.NumNodes()))
+	lv := g.lat.Level(gb)
+	nd := g.grid.Schema().NumDims()
+	lo := make([]int32, nd)
+	hi := make([]int32, nd)
+	for d := 0; d < nd; d++ {
+		n := int32(g.grid.ChunkCount(d, lv[d]))
+		w := 1 + g.rng.Int31n(min32(g.maxWidth, n))
+		a := g.rng.Int31n(n - w + 1)
+		lo[d], hi[d] = a, a+w
+	}
+	return core.Query{GB: gb, Lo: lo, Hi: hi}
+}
+
+// drillDown moves one level more detailed on a random dimension, mapping the
+// region down and trimming it back to maxWidth.
+func (g *Generator) drillDown() (core.Query, bool) {
+	lv := g.lat.Level(g.cur.GB)
+	dims := g.candidateDims(func(d int) bool { return lv[d] < g.grid.Schema().Dim(d).Hierarchy() })
+	if len(dims) == 0 {
+		return core.Query{}, false
+	}
+	d := dims[g.rng.Intn(len(dims))]
+	parent := g.lat.MustID(levelWith(lv, d, lv[d]+1)...)
+	lo := append([]int32(nil), g.cur.Lo...)
+	hi := append([]int32(nil), g.cur.Hi...)
+	rLo := g.grid.DimParentRange(d, lv[d], lo[d])
+	rHi := g.grid.DimParentRange(d, lv[d], hi[d]-1)
+	lo[d], hi[d] = rLo.Lo, rHi.Hi
+	// Keep the drilled region bounded, anchored at a random offset.
+	if hi[d]-lo[d] > g.maxWidth {
+		off := g.rng.Int31n(hi[d] - lo[d] - g.maxWidth + 1)
+		lo[d] += off
+		hi[d] = lo[d] + g.maxWidth
+	}
+	return core.Query{GB: parent, Lo: lo, Hi: hi}, true
+}
+
+// rollUp moves one level more aggregated on a random dimension, mapping the
+// region up.
+func (g *Generator) rollUp() (core.Query, bool) {
+	lv := g.lat.Level(g.cur.GB)
+	dims := g.candidateDims(func(d int) bool { return lv[d] > 0 })
+	if len(dims) == 0 {
+		return core.Query{}, false
+	}
+	d := dims[g.rng.Intn(len(dims))]
+	child := g.lat.MustID(levelWith(lv, d, lv[d]-1)...)
+	lo := append([]int32(nil), g.cur.Lo...)
+	hi := append([]int32(nil), g.cur.Hi...)
+	lo[d] = g.grid.DimChildChunk(d, lv[d], lo[d])
+	hi[d] = g.grid.DimChildChunk(d, lv[d], hi[d]-1) + 1
+	return core.Query{GB: child, Lo: lo, Hi: hi}, true
+}
+
+// proximity shifts the region by one chunk along a random dimension.
+func (g *Generator) proximity() (core.Query, bool) {
+	lv := g.lat.Level(g.cur.GB)
+	lo := append([]int32(nil), g.cur.Lo...)
+	hi := append([]int32(nil), g.cur.Hi...)
+	dims := g.candidateDims(func(d int) bool { return g.grid.ChunkCount(d, lv[d]) > 1 })
+	if len(dims) == 0 {
+		return core.Query{}, false
+	}
+	d := dims[g.rng.Intn(len(dims))]
+	n := int32(g.grid.ChunkCount(d, lv[d]))
+	delta := int32(1)
+	if g.rng.Intn(2) == 0 {
+		delta = -1
+	}
+	if lo[d]+delta < 0 || hi[d]+delta > n {
+		delta = -delta
+		if lo[d]+delta < 0 || hi[d]+delta > n {
+			return core.Query{}, false
+		}
+	}
+	lo[d] += delta
+	hi[d] += delta
+	return core.Query{GB: g.cur.GB, Lo: lo, Hi: hi}, true
+}
+
+func (g *Generator) candidateDims(pred func(d int) bool) []int {
+	var dims []int
+	for d := 0; d < g.grid.Schema().NumDims(); d++ {
+		if pred(d) {
+			dims = append(dims, d)
+		}
+	}
+	return dims
+}
+
+func levelWith(lv []int, d, v int) []int {
+	out := append([]int(nil), lv...)
+	out[d] = v
+	return out
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}

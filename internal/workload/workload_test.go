@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"testing"
+
+	"aggcache/internal/apb"
+	"aggcache/internal/chunk"
+	"aggcache/internal/core"
+)
+
+func tinyGrid(t testing.TB) *chunk.Grid {
+	t.Helper()
+	cfg := apb.New(apb.ScaleTiny)
+	g, err := chunk.NewGrid(cfg.Schema, cfg.ChunkCounts)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	return g
+}
+
+func TestGeneratorProducesValidQueries(t *testing.T) {
+	g := tinyGrid(t)
+	gen, err := NewGenerator(g, DefaultMix, 2, 7)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	qs, ks := gen.Stream(500)
+	if len(qs) != 500 || len(ks) != 500 {
+		t.Fatalf("stream sizes %d/%d", len(qs), len(ks))
+	}
+	for i, q := range qs {
+		if _, err := q.NumChunks(g); err != nil {
+			t.Fatalf("query %d invalid: %v (%+v)", i, err, q)
+		}
+	}
+	if ks[0] != KindRandom {
+		t.Fatalf("first query kind = %v, want random", ks[0])
+	}
+}
+
+func TestGeneratorMixRoughlyHonored(t *testing.T) {
+	g := tinyGrid(t)
+	gen, _ := NewGenerator(g, DefaultMix, 2, 11)
+	_, ks := gen.Stream(4000)
+	counts := map[Kind]int{}
+	for _, k := range ks {
+		counts[k]++
+	}
+	// Drill-down/roll-up/proximity degrade to random when impossible, so
+	// random can exceed its 10% share; the locality kinds must still be
+	// well represented.
+	for _, k := range []Kind{KindDrillDown, KindRollUp, KindProximity} {
+		frac := float64(counts[k]) / 4000
+		if frac < 0.15 || frac > 0.45 {
+			t.Fatalf("kind %v fraction %.2f outside [0.15,0.45] (counts %v)", k, frac, counts)
+		}
+	}
+	if counts[KindRandom] == 0 {
+		t.Fatalf("no random queries at all")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g := tinyGrid(t)
+	a, _ := NewGenerator(g, DefaultMix, 2, 5)
+	b, _ := NewGenerator(g, DefaultMix, 2, 5)
+	qa, ka := a.Stream(100)
+	qb, kb := b.Stream(100)
+	for i := range qa {
+		if ka[i] != kb[i] || qa[i].GB != qb[i].GB {
+			t.Fatalf("stream diverged at %d", i)
+		}
+		for d := range qa[i].Lo {
+			if qa[i].Lo[d] != qb[i].Lo[d] || qa[i].Hi[d] != qb[i].Hi[d] {
+				t.Fatalf("bounds diverged at %d", i)
+			}
+		}
+	}
+}
+
+func TestGeneratorLocalityTransitions(t *testing.T) {
+	g := tinyGrid(t)
+	lat := g.Lattice()
+	gen, _ := NewGenerator(g, DefaultMix, 2, 13)
+	var prev core.Query
+	qs, ks := gen.Stream(800)
+	for i, q := range qs {
+		if i == 0 {
+			prev = q
+			continue
+		}
+		lvPrev := lat.Level(prev.GB)
+		lv := lat.Level(q.GB)
+		switch ks[i] {
+		case KindDrillDown:
+			if sum(lv) != sum(lvPrev)+1 {
+				t.Fatalf("query %d: drill-down level sum %d -> %d", i, sum(lvPrev), sum(lv))
+			}
+		case KindRollUp:
+			if sum(lv) != sum(lvPrev)-1 {
+				t.Fatalf("query %d: roll-up level sum %d -> %d", i, sum(lvPrev), sum(lv))
+			}
+		case KindProximity:
+			if q.GB != prev.GB {
+				t.Fatalf("query %d: proximity changed group-by", i)
+			}
+			// Exactly one dimension shifted by one chunk.
+			shifts := 0
+			for d := range q.Lo {
+				if q.Lo[d] != prev.Lo[d] {
+					diff := q.Lo[d] - prev.Lo[d]
+					if diff != 1 && diff != -1 {
+						t.Fatalf("query %d: proximity shift %d", i, diff)
+					}
+					shifts++
+				}
+			}
+			if shifts != 1 {
+				t.Fatalf("query %d: proximity shifted %d dims", i, shifts)
+			}
+		}
+		prev = q
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	g := tinyGrid(t)
+	if _, err := NewGenerator(g, Mix{}, 2, 1); err == nil {
+		t.Errorf("zero mix: expected error")
+	}
+	if _, err := NewGenerator(g, Mix{Random: -1, DrillDown: 2}, 2, 1); err == nil {
+		t.Errorf("negative weight: expected error")
+	}
+	if _, err := NewGenerator(g, DefaultMix, 0, 1); err == nil {
+		t.Errorf("maxWidth 0: expected error")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindRandom: "random", KindDrillDown: "drill-down",
+		KindRollUp: "roll-up", KindProximity: "proximity",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatalf("unknown kind string")
+	}
+}
+
+func sum(lv []int) int {
+	s := 0
+	for _, v := range lv {
+		s += v
+	}
+	return s
+}
