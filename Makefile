@@ -1,0 +1,22 @@
+# Standard targets; `make ci` is what the checks run.
+
+GO ?= go
+
+.PHONY: build test vet race bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 100x -run XXX .
+
+ci: vet race

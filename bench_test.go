@@ -319,6 +319,41 @@ func BenchmarkEngineCompleteHit(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentStream measures end-to-end throughput with many
+// goroutines sharing one warm engine — the workload the cache lock split and
+// singleflight dedup target. Run with -cpu 1,2,4 to see the scaling.
+func BenchmarkConcurrentStream(b *testing.B) {
+	e := benchEnv(b)
+	sys, err := e.NewSystem(bench.SystemSpec{
+		Strategy: bench.StratVCMC, Policy: bench.PolicyTwoLevel,
+		Bytes: e.BaseBytes() * 4, Preload: true,
+	})
+	if err != nil {
+		b.Fatalf("NewSystem: %v", err)
+	}
+	gen, err := workload.NewGenerator(e.Grid, workload.DefaultMix, 2, e.Cfg.Seed+2000)
+	if err != nil {
+		b.Fatalf("NewGenerator: %v", err)
+	}
+	queries, _ := gen.Stream(64)
+	for i, q := range queries {
+		if _, err := sys.Engine.Execute(q); err != nil {
+			b.Fatalf("warm query %d: %v", i, err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := sys.Engine.Execute(queries[i%len(queries)]); err != nil {
+				b.Errorf("Execute: %v", err)
+				return
+			}
+			i++
+		}
+	})
+}
+
 // BenchmarkStrategyInsertEvictChurn measures maintenance under churn (the
 // cost VCM/VCMC pay for O(1) lookups).
 func BenchmarkStrategyInsertEvictChurn(b *testing.B) {

@@ -3,6 +3,7 @@ package backend
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"aggcache/internal/chunk"
@@ -29,10 +30,17 @@ func (s *factSource) rows() int64 { return int64(len(s.values)) }
 // executor. Materialized aggregates model the pre-computed summary tables a
 // production warehouse keeps (§7.1 notes the backend-vs-cache factor depends
 // on their presence).
+//
+// ComputeChunks and EstimateScan are safe for concurrent use: the cache
+// engine issues backend round trips outside its own lock, so several queries
+// can be in flight here at once. mu guards the sources and ancestor-table
+// maps; the clustered row data itself is immutable once built.
 type Engine struct {
 	grid    *chunk.Grid
 	latency LatencyModel
 	nd      int
+
+	mu      sync.RWMutex
 	sources map[lattice.ID]*factSource
 	// ancCache[(src<<32)|dst][d] maps a member at src's level to its
 	// ancestor at dst's level.
@@ -107,7 +115,11 @@ func (e *Engine) clusterRows(gb lattice.ID, rows [][]int32, vals []float64, coun
 }
 
 // Rows returns the number of base fact rows loaded.
-func (e *Engine) Rows() int64 { return e.sources[e.grid.Lattice().Base()].rows() }
+func (e *Engine) Rows() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.sources[e.grid.Lattice().Base()].rows()
+}
 
 // Grid returns the engine's chunk grid.
 func (e *Engine) Grid() *chunk.Grid { return e.grid }
@@ -121,7 +133,10 @@ func (e *Engine) Materialize(gbs ...lattice.ID) error {
 		if int(gb) < 0 || int(gb) >= lat.NumNodes() {
 			return fmt.Errorf("backend: materialize: group-by %d out of range", gb)
 		}
-		if _, ok := e.sources[gb]; ok {
+		e.mu.RLock()
+		_, ok := e.sources[gb]
+		e.mu.RUnlock()
+		if ok {
 			continue
 		}
 		chunks, _, err := e.ComputeChunks(gb, allChunks(e.grid, gb))
@@ -138,7 +153,10 @@ func (e *Engine) Materialize(gbs ...lattice.ID) error {
 				cnts = append(cnts, c.Counts[i])
 			}
 		}
-		e.sources[gb] = e.clusterRows(gb, rows, vals, cnts)
+		src := e.clusterRows(gb, rows, vals, cnts)
+		e.mu.Lock()
+		e.sources[gb] = src
+		e.mu.Unlock()
 	}
 	return nil
 }
@@ -146,6 +164,8 @@ func (e *Engine) Materialize(gbs ...lattice.ID) error {
 // Materialized returns the group-bys with a materialized source (always
 // including the base).
 func (e *Engine) Materialized() []lattice.ID {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make([]lattice.ID, 0, len(e.sources))
 	for gb := range e.sources {
 		out = append(out, gb)
@@ -164,6 +184,8 @@ func allChunks(g *chunk.Grid, gb lattice.ID) []int {
 
 // pickSource returns the smallest materialized relation that can answer gb.
 func (e *Engine) pickSource(gb lattice.ID) *factSource {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	lat := e.grid.Lattice()
 	var best *factSource
 	for sgb, s := range e.sources {
@@ -178,14 +200,19 @@ func (e *Engine) pickSource(gb lattice.ID) *factSource {
 }
 
 // ancestors returns member maps from src's levels down to dst's levels.
+// Tables are built lazily and cached; concurrent misses may build the same
+// table twice, with the last write winning — both copies are identical.
 func (e *Engine) ancestors(src, dst lattice.ID) [][]int32 {
 	key := uint64(src)<<32 | uint64(uint32(dst))
-	if a, ok := e.ancCache[key]; ok {
+	e.mu.RLock()
+	a, ok := e.ancCache[key]
+	e.mu.RUnlock()
+	if ok {
 		return a
 	}
 	sch := e.grid.Schema()
 	lat := e.grid.Lattice()
-	a := make([][]int32, e.nd)
+	a = make([][]int32, e.nd)
 	for d := 0; d < e.nd; d++ {
 		dim := sch.Dim(d)
 		from, to := lat.LevelAt(src, d), lat.LevelAt(dst, d)
@@ -195,7 +222,9 @@ func (e *Engine) ancestors(src, dst lattice.ID) [][]int32 {
 		}
 		a[d] = tab
 	}
+	e.mu.Lock()
 	e.ancCache[key] = a
+	e.mu.Unlock()
 	return a
 }
 

@@ -72,6 +72,7 @@ var experiments = []struct {
 	{"chunk-sweep", one(ChunkSizeSweep)},
 	{"lemma1", one(Lemma1)},
 	{"lemma2", one(Lemma2)},
+	{"concurrency", one(ConcurrencySweep)},
 }
 
 // aliases maps alternative ids (artifacts that share a runner) to canonical

@@ -89,15 +89,26 @@ type Policy interface {
 	NextVictim(cl Class) *Entry
 }
 
-// Stats counts cache activity.
+// Stats counts cache activity. Evictions counts only policy-driven victim
+// removals (the replacement traffic Figures 7/8 report); explicit removals
+// via Evict are counted separately as Removals.
 type Stats struct {
 	Hits, Misses       int64
 	Inserts, Evictions int64
+	Removals           int64 // explicit removals via Evict
 	Denied             int64 // admissions denied by the policy
 }
 
-// Cache is a bounded chunk cache. It is not safe for concurrent use; the
-// query engine serializes access.
+// Cache is a bounded chunk cache.
+//
+// Locking contract: the cache performs no internal synchronization. Every
+// method — including Pin/Unpin, Insert, and anything that reaches the policy
+// or listener — must be called while holding one external lock (core.Engine's
+// cache lock). Listener and Policy callbacks fire synchronously under that
+// same lock, so strategy maintenance is serialized with cache mutation.
+// Chunk payloads (*chunk.Chunk) are immutable, so a payload pointer obtained
+// under the lock may be read after the lock is released, provided the entry
+// stays pinned so the policy cannot evict it while readers hold the pointer.
 type Cache struct {
 	capacity int64
 	used     int64
@@ -168,19 +179,43 @@ func (c *Cache) Peek(k Key) (*chunk.Chunk, bool) {
 
 // Insert makes data resident under k with the given class and benefit,
 // evicting per the policy as needed. It reports whether the chunk was
-// admitted. Re-inserting a resident key refreshes its class/benefit and
-// counts as an access. A chunk larger than the whole cache is not admitted.
+// admitted. Re-inserting a resident key replaces the payload, re-charges the
+// byte delta (evicting if the cache overflows), refreshes class/benefit and
+// counts as an access; presence is unchanged, so no listener event fires. A
+// chunk larger than the whole cache is not admitted, and an oversized
+// replacement leaves the old entry resident.
 func (c *Cache) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool {
-	if e, ok := c.entries[k]; ok {
-		e.Class = cl
-		e.Benefit = benefit
-		c.policy.Accessed(e)
-		return true
-	}
 	need := data.Bytes()
 	if need > c.capacity {
 		c.stats.Denied++
 		return false
+	}
+	if e, ok := c.entries[k]; ok {
+		if delta := need - e.Bytes(); delta > 0 {
+			// Shield the entry being replaced from the victim scan.
+			e.pins++
+			for c.used+delta > c.capacity {
+				v := c.policy.NextVictim(cl)
+				if v == nil {
+					e.pins--
+					c.stats.Denied++
+					return false
+				}
+				c.remove(v, true)
+			}
+			e.pins--
+		}
+		c.used += need - e.Bytes()
+		e.Data = data
+		if e.Class != cl {
+			// Migrate to the ring matching the new class.
+			c.policy.Removed(e)
+			e.Class = cl
+			c.policy.Added(e)
+		}
+		e.Benefit = benefit
+		c.policy.Accessed(e)
+		return true
 	}
 	for c.used+need > c.capacity {
 		v := c.policy.NextVictim(cl)
@@ -202,21 +237,30 @@ func (c *Cache) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool
 }
 
 // Evict removes k if resident; used by tests and administrative tooling.
+// Explicit removals count as Stats.Removals, not Stats.Evictions.
 func (c *Cache) Evict(k Key) bool {
 	e, ok := c.entries[k]
 	if !ok {
 		return false
 	}
-	c.remove(e, true)
+	c.remove(e, false)
 	return true
 }
 
-func (c *Cache) remove(e *Entry, notify bool) {
+// remove drops e from the cache. policyEvict distinguishes policy-driven
+// victim eviction (counted as Evictions) from administrative removal
+// (counted as Removals); the listener is notified either way so strategies
+// stay consistent with residence.
+func (c *Cache) remove(e *Entry, policyEvict bool) {
 	delete(c.entries, e.Key)
 	c.used -= e.Bytes()
-	c.stats.Evictions++
+	if policyEvict {
+		c.stats.Evictions++
+	} else {
+		c.stats.Removals++
+	}
 	c.policy.Removed(e)
-	if notify && c.listener != nil {
+	if c.listener != nil {
 		c.listener.OnEvict(e)
 	}
 }

@@ -265,16 +265,24 @@ func TestCacheInvariantsProperty(t *testing.T) {
 					c.Unpin(k)
 				}
 			}
-			// Invariants.
+			// Invariants. Byte accounting is checked against the live
+			// entries (payload replacement changes bytes without a
+			// listener event); the listener map checks insert/evict
+			// key-set symmetry.
 			if c.Used() > c.Capacity() {
 				return false
 			}
 			var sum int64
-			for _, b := range resident {
-				sum += b
-			}
+			c.Range(func(_ Key, data *chunk.Chunk, _ Class, _ float64) {
+				sum += data.Bytes()
+			})
 			if sum != c.Used() || len(resident) != c.Len() {
 				return false
+			}
+			for k := range resident {
+				if !c.Contains(k) {
+					return false
+				}
 			}
 		}
 		// Pinned entries must all still be resident.
@@ -294,6 +302,114 @@ type trackListener struct{ resident map[Key]int64 }
 
 func (l *trackListener) OnInsert(e *Entry) { l.resident[e.Key] = e.Bytes() }
 func (l *trackListener) OnEvict(e *Entry)  { delete(l.resident, e.Key) }
+
+// Regression: re-inserting a resident key must replace the stale payload and
+// re-charge the byte accounting for the delta.
+func TestCacheReplacePayload(t *testing.T) {
+	c, _ := New(10_000, NewBenefitClock())
+	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1)
+	if !c.Insert(key(1), mkChunk(0, 1, 20), ClassBackend, 2) {
+		t.Fatalf("replacement insert denied")
+	}
+	if d, ok := c.Peek(key(1)); !ok || d.Cells() != 20 {
+		t.Fatalf("stale payload survived reinsert: %v", d)
+	}
+	if want := mkChunk(0, 1, 20).Bytes(); c.Used() != want {
+		t.Fatalf("Used = %d after growth, want %d", c.Used(), want)
+	}
+	// Shrinking releases bytes.
+	if !c.Insert(key(1), mkChunk(0, 1, 5), ClassBackend, 2) {
+		t.Fatalf("shrinking insert denied")
+	}
+	if want := mkChunk(0, 1, 5).Bytes(); c.Used() != want {
+		t.Fatalf("Used = %d after shrink, want %d", c.Used(), want)
+	}
+	if st := c.Stats(); st.Inserts != 1 {
+		t.Fatalf("Inserts = %d, want 1 (replacement is not a new insert)", st.Inserts)
+	}
+}
+
+// Regression: a growing replacement that overflows the cache evicts victims,
+// never the entry being replaced.
+func TestCacheReplaceEvictsOnGrowth(t *testing.T) {
+	c, _ := New(700, NewBenefitClock())
+	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1)
+	c.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 1)
+	if !c.Insert(key(1), mkChunk(0, 1, 20), ClassBackend, 1) {
+		t.Fatalf("growing replacement denied")
+	}
+	if !c.Contains(key(1)) || c.Contains(key(2)) {
+		t.Fatalf("wrong victim: has1=%v has2=%v", c.Contains(key(1)), c.Contains(key(2)))
+	}
+	if d, _ := c.Peek(key(1)); d.Cells() != 20 {
+		t.Fatalf("payload not replaced")
+	}
+	if want := mkChunk(0, 1, 20).Bytes(); c.Used() != want {
+		t.Fatalf("Used = %d, want %d", c.Used(), want)
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+}
+
+// Regression: an oversized replacement is denied and the old entry survives.
+func TestCacheReplaceOversizedKeepsOld(t *testing.T) {
+	c, _ := New(700, NewBenefitClock())
+	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1)
+	if c.Insert(key(1), mkChunk(0, 1, 30), ClassBackend, 1) {
+		t.Fatalf("oversized replacement admitted")
+	}
+	if d, ok := c.Peek(key(1)); !ok || d.Cells() != 10 {
+		t.Fatalf("old entry lost on denied replacement: %v ok=%v", d, ok)
+	}
+	if want := mkChunk(0, 1, 10).Bytes(); c.Used() != want {
+		t.Fatalf("Used = %d, want %d", c.Used(), want)
+	}
+	if c.Stats().Denied != 1 {
+		t.Fatalf("Denied = %d", c.Stats().Denied)
+	}
+}
+
+// Regression: a reinsert that changes the class must migrate the entry to the
+// matching two-level ring; a stale ring assignment lets a computed insert
+// displace what is now a backend chunk.
+func TestCacheReplaceClassMigratesRing(t *testing.T) {
+	c, _ := New(700, NewTwoLevel())
+	c.Insert(key(1), mkChunk(0, 1, 10), ClassComputed, 1)
+	c.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 1)
+	// Promote key(1) to backend class via reinsert.
+	if !c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1) {
+		t.Fatalf("promoting reinsert denied")
+	}
+	// Both residents are now backend chunks, so a computed insert that needs
+	// a victim must be denied outright.
+	if c.Insert(key(3), mkChunk(0, 3, 10), ClassComputed, 1e9) {
+		t.Fatalf("computed chunk displaced a promoted backend chunk")
+	}
+	if !c.Contains(key(1)) || !c.Contains(key(2)) {
+		t.Fatalf("backend chunk lost: has1=%v has2=%v", c.Contains(key(1)), c.Contains(key(2)))
+	}
+}
+
+// Regression: administrative Evict must not inflate the policy-eviction
+// counter used for replacement accounting.
+func TestEvictCountsRemovalNotEviction(t *testing.T) {
+	c, _ := New(10_000, NewBenefitClock())
+	l := &recordingListener{}
+	c.SetListener(l)
+	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1)
+	if !c.Evict(key(1)) {
+		t.Fatalf("Evict failed")
+	}
+	st := c.Stats()
+	if st.Evictions != 0 || st.Removals != 1 {
+		t.Fatalf("stats = %+v, want Evictions=0 Removals=1", st)
+	}
+	// The listener must still observe the removal so strategies stay in sync.
+	if len(l.evicted) != 1 {
+		t.Fatalf("listener missed administrative removal")
+	}
+}
 
 func TestKeysAndClassString(t *testing.T) {
 	c, _ := New(10_000, NewBenefitClock())

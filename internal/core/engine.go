@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aggcache/internal/backend"
@@ -62,18 +64,64 @@ type Stats struct {
 	Breakdown      metrics.Breakdown
 }
 
+// engineStats is the engine's internal, atomically updated counterpart of
+// Stats, so concurrent queries can account without contending on a lock.
+type engineStats struct {
+	queries        atomic.Int64
+	completeHits   atomic.Int64
+	backendQueries atomic.Int64
+	backendTuples  atomic.Int64
+	aggTuples      atomic.Int64
+	budgetMisses   atomic.Int64
+	bypassed       atomic.Int64
+
+	lookupNS  atomic.Int64
+	aggNS     atomic.Int64
+	updateNS  atomic.Int64
+	backendNS atomic.Int64
+}
+
+func (s *engineStats) snapshot() Stats {
+	return Stats{
+		Queries:        s.queries.Load(),
+		CompleteHits:   s.completeHits.Load(),
+		BackendQueries: s.backendQueries.Load(),
+		BackendTuples:  s.backendTuples.Load(),
+		AggTuples:      s.aggTuples.Load(),
+		BudgetMisses:   s.budgetMisses.Load(),
+		Bypassed:       s.bypassed.Load(),
+		Breakdown: metrics.Breakdown{
+			Lookup:    time.Duration(s.lookupNS.Load()),
+			Aggregate: time.Duration(s.aggNS.Load()),
+			Update:    time.Duration(s.updateNS.Load()),
+			Backend:   time.Duration(s.backendNS.Load()),
+		},
+	}
+}
+
 // Engine is the aggregate aware cache manager. It is safe for concurrent
-// use; queries are serialized.
+// use, and queries genuinely overlap: mu — the cache lock — guards the
+// cache and the strategy's summary state and is held only for the short
+// lookup/pin, payload-snapshot and insert sections of a query. The backend
+// round trip and the in-cache aggregation run outside it, with the plan's
+// leaves pinned so the replacement policy cannot evict an input mid-flight.
+// Identical concurrent backend chunk fetches are deduplicated through
+// flights, and independent planned chunks of one query aggregate in
+// parallel across a GOMAXPROCS-bounded worker pool.
 type Engine struct {
-	mu    sync.Mutex
 	grid  *chunk.Grid
 	lat   *lattice.Lattice
-	cache *cache.Cache
-	strat strategy.Strategy
 	back  backend.Backend
 	sizes sizer.Sizer
 	opts  Options
-	stats Stats
+
+	// mu is the cache lock; it serializes every cache and strategy call.
+	mu    sync.Mutex
+	cache *cache.Cache
+	strat strategy.Strategy
+
+	flights flightGroup
+	stats   engineStats
 }
 
 // New wires a cache, a lookup strategy and a backend into an engine. The
@@ -85,13 +133,14 @@ func New(g *chunk.Grid, c *cache.Cache, s strategy.Strategy, b backend.Backend, 
 	}
 	c.SetListener(s)
 	return &Engine{
-		grid:  g,
-		lat:   g.Lattice(),
-		cache: c,
-		strat: s,
-		back:  b,
-		sizes: sizes,
-		opts:  opts.withDefaults(),
+		grid:    g,
+		lat:     g.Lattice(),
+		cache:   c,
+		strat:   s,
+		back:    b,
+		sizes:   sizes,
+		opts:    opts.withDefaults(),
+		flights: flightGroup{m: make(map[flightKey]*flightCall)},
 	}, nil
 }
 
@@ -105,19 +154,37 @@ func (e *Engine) Cache() *cache.Cache { return e.cache }
 func (e *Engine) Strategy() strategy.Strategy { return e.strat }
 
 // Stats returns a copy of the cumulative counters.
-func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+func (e *Engine) Stats() Stats { return e.stats.snapshot() }
+
+// planned is one chunk of the query answerable from the cache, with the
+// pinned cache keys of its plan's leaves.
+type planned struct {
+	idx    int
+	plan   *strategy.Plan
+	leaves []cache.Key
+}
+
+// computed is an interior plan result destined for the cache when
+// InsertIntermediates is on.
+type computed struct {
+	key    cache.Key
+	data   *chunk.Chunk
+	tuples int64
+}
+
+// aggOut is the result of materializing one plan outside the cache lock.
+type aggOut struct {
+	data   *chunk.Chunk
+	tuples int64
+	inter  []computed
+	err    error
 }
 
 // Execute answers one query: probe the cache per chunk, batch the misses to
 // the backend, aggregate the computable chunks in the cache, and assemble
-// the answer.
+// the answer. Concurrent calls overlap; see the Engine doc for the locking
+// structure.
 func (e *Engine) Execute(q Query) (*Result, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-
 	nq, err := q.normalize(e.grid)
 	if err != nil {
 		return nil, err
@@ -125,41 +192,95 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 	nums := nq.chunkNumbers(e.grid)
 	res := &Result{Query: nq, Chunks: make([]*chunk.Chunk, len(nums))}
 
-	// Phase 1 — lookup: one strategy probe per chunk (the paper's cache
-	// lookup problem).
-	type planned struct {
-		idx  int
-		plan *strategy.Plan
-	}
-	var plans []planned
+	var plans []*planned  // answerable from cache; leaves pinned
+	var bypass []*planned // pinned, pending a §5.2 backend cost estimate
 	var missing []int
 	var missingIdx []int
+
+	// Whatever happens below, release every pin still held on exit.
+	defer func() {
+		e.mu.Lock()
+		for _, p := range plans {
+			e.unpinAll(p.leaves)
+		}
+		for _, p := range bypass {
+			e.unpinAll(p.leaves)
+		}
+		e.mu.Unlock()
+	}()
+
+	// Phase 1 — lookup: one strategy probe per chunk (the paper's cache
+	// lookup problem), pinning each plan's leaves so later insertions —
+	// ours or a concurrent query's — cannot evict an input.
 	lookupStart := time.Now()
+	var lookupErr error
+	e.mu.Lock()
 	for i, num := range nums {
 		plan, found, err := e.strat.Find(nq.GB, num)
 		switch {
 		case errors.Is(err, strategy.ErrBudget):
 			res.BudgetExceeded = true
-			e.stats.BudgetMisses++
+			e.stats.budgetMisses.Add(1)
 			found = false
 		case err != nil:
-			return nil, fmt.Errorf("core: lookup: %w", err)
+			lookupErr = fmt.Errorf("core: lookup: %w", err)
 		}
-		if found && e.opts.CostBypass && plan.Cost > int64(e.opts.ConnectCostUnits) {
-			// §5.2 optimizer: only worth a backend estimate when the plan is
-			// at least as expensive as a backend round trip.
-			est, eerr := e.back.EstimateScan(nq.GB, []int{num})
-			if eerr == nil && float64(plan.Cost) > float64(est)*e.opts.BackendPenalty+e.opts.ConnectCostUnits {
-				found = false
-				res.Bypassed++
-				e.stats.Bypassed++
-			}
+		if lookupErr != nil {
+			break
 		}
-		if found {
-			plans = append(plans, planned{idx: i, plan: plan})
-		} else {
+		if !found {
 			missing = append(missing, num)
 			missingIdx = append(missingIdx, i)
+			continue
+		}
+		p := &planned{idx: i, plan: plan, leaves: plan.Leaves(nil)}
+		if !e.pinAll(p.leaves) {
+			// A leaf the strategy believed resident is gone (the strategy
+			// and the cache are updated under the same lock, so this is
+			// defensive). Fall back to fetching the chunk, not failing the
+			// query.
+			missing = append(missing, num)
+			missingIdx = append(missingIdx, i)
+			continue
+		}
+		if e.opts.CostBypass && plan.Cost > int64(e.opts.ConnectCostUnits) {
+			// §5.2 optimizer: only worth a backend estimate when the plan
+			// is at least as expensive as a backend round trip. The
+			// estimate itself is a backend call, so it runs after unlock.
+			bypass = append(bypass, p)
+		} else {
+			plans = append(plans, p)
+		}
+	}
+	e.mu.Unlock()
+	if lookupErr != nil {
+		return nil, lookupErr
+	}
+
+	// Phase 1b — resolve bypass candidates against the backend's estimated
+	// cost, outside the cache lock; demoted chunks join the miss list.
+	if len(bypass) > 0 {
+		var demoted []*planned
+		for _, p := range bypass {
+			est, eerr := e.back.EstimateScan(nq.GB, []int{nums[p.idx]})
+			if eerr == nil && float64(p.plan.Cost) > float64(est)*e.opts.BackendPenalty+e.opts.ConnectCostUnits {
+				demoted = append(demoted, p)
+			} else {
+				plans = append(plans, p)
+			}
+		}
+		bypass = nil
+		if len(demoted) > 0 {
+			e.mu.Lock()
+			for _, p := range demoted {
+				e.unpinAll(p.leaves)
+				p.leaves = nil
+				missing = append(missing, nums[p.idx])
+				missingIdx = append(missingIdx, p.idx)
+			}
+			e.mu.Unlock()
+			res.Bypassed += len(demoted)
+			e.stats.bypassed.Add(int64(len(demoted)))
 		}
 	}
 	res.Breakdown.Lookup = time.Since(lookupStart)
@@ -167,71 +288,91 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 	res.MissChunks = len(missing)
 	res.CompleteHit = len(missing) == 0
 
-	// Pin every plan leaf so backend insertions and intermediate results
-	// cannot evict an input before we aggregate it.
-	var pinned []cache.Key
-	for _, p := range plans {
-		pinned = p.plan.Leaves(pinned)
-	}
-	for _, k := range pinned {
-		e.cache.Pin(k)
-	}
-	defer func() {
-		for _, k := range pinned {
-			e.cache.Unpin(k)
-		}
-	}()
-
-	// Phase 2 — backend: a single batched request for all missing chunks
-	// (the paper issues one SQL statement for the missing chunk numbers).
-	maintBefore := e.strat.Maintenance()
+	// Phase 2 — backend: one batched request for all missing chunks (the
+	// paper issues one SQL statement for the missing chunk numbers),
+	// deduplicated against identical in-flight fetches and issued outside
+	// the cache lock.
 	if len(missing) > 0 {
-		chunks, bstats, err := e.back.ComputeChunks(nq.GB, missing)
-		if err != nil {
-			return nil, fmt.Errorf("core: backend: %w", err)
-		}
-		res.Breakdown.Backend = bstats.Cost()
-		res.BackendTuples = bstats.TuplesScanned
-		e.stats.BackendQueries++
-		e.stats.BackendTuples += bstats.TuplesScanned
-		benefit := (float64(bstats.TuplesScanned)*e.opts.BackendPenalty + e.opts.ConnectCostUnits) / float64(len(missing))
-		for i, c := range chunks {
-			res.Chunks[missingIdx[i]] = c
-			e.cache.Insert(cache.Key{GB: nq.GB, Num: int32(missing[i])}, c, cache.ClassBackend, benefit)
-		}
-	}
-
-	// Phase 3 — aggregate computable chunks in the cache.
-	maintMid := e.strat.Maintenance()
-	aggStart := time.Now()
-	for _, p := range plans {
-		data, tuples, err := e.materialize(p.plan)
-		if err != nil {
+		if err := e.fetchMissing(nq.GB, missing, missingIdx, res); err != nil {
 			return nil, err
 		}
-		res.Chunks[p.idx] = data
-		res.AggregatedTuples += tuples
-		if !p.plan.Present {
-			benefit := float64(tuples)
-			e.cache.Insert(cache.Key{GB: nq.GB, Num: int32(p.plan.Num)}, data, cache.ClassComputed, benefit)
-			if !e.opts.DisableReinforce {
-				e.cache.Reinforce(p.plan.Leaves(nil), benefit)
+	}
+
+	// Phase 3 — aggregate computable chunks. 3a snapshots the pinned leaf
+	// payloads under the lock (chunk payloads are immutable, so the
+	// pointers stay valid outside it); 3b aggregates lock-free across a
+	// bounded worker pool; 3c installs the computed chunks and reinforces
+	// their input groups under the lock.
+	if len(plans) > 0 {
+		leafData := make(map[cache.Key]*chunk.Chunk)
+		var snapErr error
+		e.mu.Lock()
+		for _, p := range plans {
+			if snapErr = e.snapshotLeaves(p.plan, leafData); snapErr != nil {
+				break
 			}
 		}
-	}
-	agg := time.Since(aggStart)
+		e.mu.Unlock()
+		if snapErr != nil {
+			return nil, snapErr
+		}
 
-	// Maintenance time was spent inside cache.Insert listener callbacks
-	// during phases 2–3; attribute all of it to the update component and
-	// keep the aggregation timer clean of the share incurred in phase 3.
-	maintEnd := e.strat.Maintenance()
-	res.Breakdown.Update = maintEnd.Sub(maintBefore).Time
-	if phase3 := maintEnd.Sub(maintMid).Time; agg > phase3 {
-		agg -= phase3
-	} else {
-		agg = 0
+		aggStart := time.Now()
+		outs := make([]aggOut, len(plans))
+		if workers := min(len(plans), runtime.GOMAXPROCS(0)); workers > 1 {
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= len(plans) {
+							return
+						}
+						outs[i] = e.runPlan(plans[i].plan, leafData)
+					}
+				}()
+			}
+			wg.Wait()
+		} else {
+			for i, p := range plans {
+				outs[i] = e.runPlan(p.plan, leafData)
+			}
+		}
+		res.Breakdown.Aggregate = time.Since(aggStart)
+		for _, out := range outs {
+			if out.err != nil {
+				return nil, out.err
+			}
+		}
+
+		e.mu.Lock()
+		m0 := e.strat.Maintenance()
+		for i, out := range outs {
+			p := plans[i]
+			res.Chunks[p.idx] = out.data
+			res.AggregatedTuples += out.tuples
+			if p.plan.Present {
+				continue
+			}
+			for _, ic := range out.inter {
+				e.cache.Insert(ic.key, ic.data, cache.ClassComputed, float64(ic.tuples))
+			}
+			benefit := float64(out.tuples)
+			e.cache.Insert(cache.Key{GB: nq.GB, Num: int32(p.plan.Num)}, out.data, cache.ClassComputed, benefit)
+			if !e.opts.DisableReinforce {
+				e.cache.Reinforce(p.leaves, benefit)
+			}
+		}
+		m1 := e.strat.Maintenance()
+		e.mu.Unlock()
+		// Both snapshots were taken while holding the cache lock, so the
+		// delta is exactly this query's maintenance work (Figure 10's
+		// "update" component) even with other queries in flight.
+		res.Breakdown.Update += m1.Sub(m0).Time
 	}
-	res.Breakdown.Aggregate = agg
 
 	// Trim to exact member bounds if the front end asked for them.
 	if nq.MemberRanges != nil {
@@ -240,23 +381,76 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 		}
 	}
 
-	e.stats.Queries++
+	e.stats.queries.Add(1)
 	if res.CompleteHit {
-		e.stats.CompleteHits++
+		e.stats.completeHits.Add(1)
 	}
-	e.stats.AggTuples += res.AggregatedTuples
-	e.stats.Breakdown.Add(res.Breakdown)
+	e.stats.aggTuples.Add(res.AggregatedTuples)
+	e.stats.lookupNS.Add(int64(res.Breakdown.Lookup))
+	e.stats.aggNS.Add(int64(res.Breakdown.Aggregate))
+	e.stats.updateNS.Add(int64(res.Breakdown.Update))
+	e.stats.backendNS.Add(int64(res.Breakdown.Backend))
 	return res, nil
 }
 
-// materialize executes a plan bottom-up, returning the chunk payload and
-// the number of tuples scanned by aggregation.
-func (e *Engine) materialize(p *strategy.Plan) (*chunk.Chunk, int64, error) {
-	k := cache.Key{GB: p.GB, Num: int32(p.Num)}
+// pinAll pins every key, rolling back already-taken pins on the first
+// failure. The caller must hold e.mu.
+func (e *Engine) pinAll(keys []cache.Key) bool {
+	for i, k := range keys {
+		if !e.cache.Pin(k) {
+			for _, u := range keys[:i] {
+				e.cache.Unpin(u)
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// unpinAll releases one pin per key. The caller must hold e.mu.
+func (e *Engine) unpinAll(keys []cache.Key) {
+	for _, k := range keys {
+		e.cache.Unpin(k)
+	}
+}
+
+// snapshotLeaves records the payload of every present leaf of the plan,
+// counting one cache hit per leaf occurrence as the serial engine did. The
+// caller must hold e.mu; the leaves are pinned, so a missing one is a bug.
+func (e *Engine) snapshotLeaves(p *strategy.Plan, m map[cache.Key]*chunk.Chunk) error {
 	if p.Present {
+		k := cache.Key{GB: p.GB, Num: int32(p.Num)}
 		data, ok := e.cache.Get(k)
 		if !ok {
-			// Pinning makes this unreachable; fail loudly if it ever breaks.
+			return fmt.Errorf("core: plan leaf %v vanished from the cache", k)
+		}
+		m[k] = data
+		return nil
+	}
+	for _, in := range p.Inputs {
+		if err := e.snapshotLeaves(in, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runPlan materializes one plan from snapshotted leaf payloads.
+func (e *Engine) runPlan(p *strategy.Plan, leafData map[cache.Key]*chunk.Chunk) aggOut {
+	var out aggOut
+	out.data, out.tuples, out.err = e.aggregate(p, leafData, &out)
+	return out
+}
+
+// aggregate executes a plan bottom-up from the snapshotted leaf payloads —
+// pure computation over immutable chunks, safe outside the cache lock.
+// Interior results are collected (bottom-up) into out.inter for insertion
+// under the lock when InsertIntermediates is on.
+func (e *Engine) aggregate(p *strategy.Plan, leafData map[cache.Key]*chunk.Chunk, out *aggOut) (*chunk.Chunk, int64, error) {
+	k := cache.Key{GB: p.GB, Num: int32(p.Num)}
+	if p.Present {
+		data, ok := leafData[k]
+		if !ok {
 			return nil, 0, fmt.Errorf("core: plan leaf %v vanished from the cache", k)
 		}
 		return data, 0, nil
@@ -264,7 +458,7 @@ func (e *Engine) materialize(p *strategy.Plan) (*chunk.Chunk, int64, error) {
 	cm := e.grid.NewCellMap(p.GB, p.Num)
 	var tuples int64
 	for _, in := range p.Inputs {
-		sub, subTuples, err := e.materialize(in)
+		sub, subTuples, err := e.aggregate(in, leafData, out)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -277,7 +471,7 @@ func (e *Engine) materialize(p *strategy.Plan) (*chunk.Chunk, int64, error) {
 	}
 	data := cm.Build(p.GB, p.Num)
 	if e.opts.InsertIntermediates {
-		e.cache.Insert(k, data, cache.ClassComputed, float64(tuples))
+		out.inter = append(out.inter, computed{key: k, data: data, tuples: tuples})
 	}
 	return data, tuples, nil
 }

@@ -73,8 +73,8 @@ func TestBackendFailureSurfacesAndRecovers(t *testing.T) {
 	}
 }
 
-// TestEngineConcurrentExecute hammers one engine from many goroutines; the
-// engine serializes internally and every answer must match the oracle.
+// TestEngineConcurrentExecute hammers one engine from many goroutines;
+// queries genuinely overlap and every answer must match the oracle.
 func TestEngineConcurrentExecute(t *testing.T) {
 	f := build(t, "VCMC", cache.NewTwoLevel(), 64<<10)
 	lat := f.grid.Lattice()

@@ -61,7 +61,7 @@ func (e *Engine) Preload() (lattice.ID, bool, error) {
 	for i, c := range chunks {
 		e.cache.Insert(cache.Key{GB: gb, Num: int32(nums[i])}, c, cache.ClassBackend, benefit)
 	}
-	e.stats.BackendQueries++
-	e.stats.BackendTuples += bstats.TuplesScanned
+	e.stats.backendQueries.Add(1)
+	e.stats.backendTuples.Add(bstats.TuplesScanned)
 	return gb, true, nil
 }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"aggcache/internal/cache"
+	"aggcache/internal/chunk"
+	"aggcache/internal/lattice"
+)
+
+// flightKey identifies one in-flight backend chunk fetch.
+type flightKey struct {
+	gb  lattice.ID
+	num int
+}
+
+// flightCall is one chunk's pending fetch. The leader query fills the
+// result fields and closes done; follower queries block on done and read
+// them. tuples and cost are the chunk's even share of the leader's batch
+// statistics — the backend reports per-batch, not per-chunk, numbers.
+type flightCall struct {
+	done   chan struct{}
+	data   *chunk.Chunk
+	tuples int64
+	cost   time.Duration
+	err    error
+}
+
+// flightGroup deduplicates identical concurrent backend chunk fetches: a
+// burst of queries missing the same (group-by, chunk) issues one backend
+// request. Leaders always publish and retire their own flights before
+// waiting on anyone else's, so flights cannot deadlock.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[flightKey]*flightCall
+}
+
+// finish publishes the leader's outcome to each flight and retires it. On
+// success chunks[i] pairs with calls[i]; on error chunks is nil.
+func (g *flightGroup) finish(gb lattice.ID, nums []int, calls []*flightCall, chunks []*chunk.Chunk, tuples int64, cost time.Duration, err error) {
+	g.mu.Lock()
+	for i, c := range calls {
+		if err == nil {
+			c.data = chunks[i]
+			c.tuples = tuples
+			c.cost = cost
+		}
+		c.err = err
+		close(c.done)
+		delete(g.m, flightKey{gb: gb, num: nums[i]})
+	}
+	g.mu.Unlock()
+}
+
+// fetchMissing obtains every missing chunk from the backend, deduplicating
+// against identical fetches already in flight. Chunks nobody is fetching are
+// batched into one ComputeChunks call led by this query; chunks with an
+// existing flight are awaited after this query's own batch completes. The
+// backend round trip runs outside the cache lock; only the insertion of the
+// fetched chunks takes it.
+func (e *Engine) fetchMissing(gb lattice.ID, missing, missingIdx []int, res *Result) error {
+	own := make([]int, 0, len(missing))
+	ownIdx := make([]int, 0, len(missing))
+	var ownCalls []*flightCall
+	var waits []*flightCall
+	var waitIdx []int
+	e.flights.mu.Lock()
+	for i, num := range missing {
+		k := flightKey{gb: gb, num: num}
+		if c, ok := e.flights.m[k]; ok {
+			waits = append(waits, c)
+			waitIdx = append(waitIdx, missingIdx[i])
+			continue
+		}
+		c := &flightCall{done: make(chan struct{})}
+		e.flights.m[k] = c
+		ownCalls = append(ownCalls, c)
+		own = append(own, num)
+		ownIdx = append(ownIdx, missingIdx[i])
+	}
+	e.flights.mu.Unlock()
+
+	if len(own) > 0 {
+		chunks, bstats, err := e.back.ComputeChunks(gb, own)
+		if err != nil {
+			err = fmt.Errorf("core: backend: %w", err)
+			e.flights.finish(gb, own, ownCalls, nil, 0, 0, err)
+			return err
+		}
+		res.Breakdown.Backend += bstats.Cost()
+		res.BackendTuples += bstats.TuplesScanned
+		e.stats.backendQueries.Add(1)
+		e.stats.backendTuples.Add(bstats.TuplesScanned)
+		benefit := (float64(bstats.TuplesScanned)*e.opts.BackendPenalty + e.opts.ConnectCostUnits) / float64(len(own))
+
+		// Insert before publishing the flights so followers that re-probe
+		// find the chunks resident.
+		e.mu.Lock()
+		m0 := e.strat.Maintenance()
+		for i, c := range chunks {
+			res.Chunks[ownIdx[i]] = c
+			e.cache.Insert(cache.Key{GB: gb, Num: int32(own[i])}, c, cache.ClassBackend, benefit)
+		}
+		m1 := e.strat.Maintenance()
+		e.mu.Unlock()
+		res.Breakdown.Update += m1.Sub(m0).Time
+
+		n := int64(len(own))
+		e.flights.finish(gb, own, ownCalls, chunks, bstats.TuplesScanned/n, bstats.Cost()/time.Duration(n), nil)
+	}
+
+	for i, c := range waits {
+		<-c.done
+		if c.err != nil {
+			return c.err
+		}
+		res.Chunks[waitIdx[i]] = c.data
+		res.BackendTuples += c.tuples
+		res.Breakdown.Backend += c.cost
+	}
+	return nil
+}

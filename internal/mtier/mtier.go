@@ -62,8 +62,9 @@ func (r *Response) Total() time.Duration {
 	return time.Duration(r.Lookup + r.Aggregate + r.Update + r.Backend)
 }
 
-// Server serves one engine to many clients. Queries are serialized by the
-// engine itself.
+// Server serves one engine to many clients. Each connection is served by
+// its own goroutine and the engine executes queries concurrently, so
+// clients scale with cores instead of queueing on a global engine lock.
 type Server struct {
 	engine *core.Engine
 	grid   *chunk.Grid
@@ -81,16 +82,26 @@ func NewServer(engine *core.Engine) *Server {
 }
 
 // Listen starts accepting connections on addr and returns the bound
-// address.
+// address. A server listens at most once: a second call — or a call after
+// Close — is rejected so the first listener is never silently leaked.
 func (s *Server) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("mtier: listen: %w", err)
 	}
 	s.mu.Lock()
+	if s.closed || s.ln != nil {
+		closed := s.closed
+		s.mu.Unlock()
+		ln.Close()
+		if closed {
+			return "", errors.New("mtier: listen: server is closed")
+		}
+		return "", errors.New("mtier: listen: server is already listening")
+	}
 	s.ln = ln
-	s.mu.Unlock()
 	s.wg.Add(1)
+	s.mu.Unlock()
 	go s.acceptLoop(ln)
 	return ln.Addr().String(), nil
 }
@@ -102,6 +113,11 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
+		// Re-check closed under mu before tracking: Close may have swept
+		// conns between Accept returning and this point, and a connection
+		// registered after the sweep would never be closed. The wg.Add must
+		// also happen before unlocking so Close's wg.Wait cannot miss the
+		// serving goroutine.
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -109,8 +125,8 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			return
 		}
 		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
 }

@@ -154,6 +154,36 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
+// Regression: a second Listen must be rejected instead of silently
+// replacing (and leaking) the first listener.
+func TestServerDoubleListenRejected(t *testing.T) {
+	srv, addr, _, _ := startServer(t)
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Fatalf("second Listen succeeded; first listener leaked")
+	}
+	// The original listener must still be serving.
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial after rejected double Listen: %v", err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query("SUM(UnitSales) BY Time:Year"); err != nil {
+		t.Fatalf("original listener broken: %v", err)
+	}
+}
+
+// Regression: Listen after Close must fail rather than resurrect a closed
+// server (its Close already ran the conns sweep).
+func TestServerListenAfterCloseRejected(t *testing.T) {
+	srv, _, _, _ := startServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Fatalf("Listen after Close succeeded")
+	}
+}
+
 func TestClientClosed(t *testing.T) {
 	_, addr, _, _ := startServer(t)
 	cl, err := Dial(addr)

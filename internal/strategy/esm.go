@@ -1,7 +1,6 @@
 package strategy
 
 import (
-	"time"
 
 	"aggcache/internal/cache"
 	"aggcache/internal/chunk"
@@ -198,10 +197,3 @@ func (s *NoAgg) Maintenance() Maint { return Maint{} }
 
 // LastVisited implements Strategy.
 func (s *NoAgg) LastVisited() int64 { return s.visited }
-
-// timeMaint is a small helper strategies use to attribute handler time.
-func timeMaint(m *Maint, fn func()) {
-	start := time.Now()
-	fn()
-	m.Time += time.Since(start)
-}

@@ -18,6 +18,7 @@ package strategy
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"aggcache/internal/cache"
@@ -81,8 +82,33 @@ func (m Maint) Sub(o Maint) Maint {
 	return Maint{Updates: m.Updates - o.Updates, Time: m.Time - o.Time}
 }
 
-// Strategy is a cache lookup strategy. Implementations are not safe for
-// concurrent use; the engine serializes access.
+// maintCounters accumulates maintenance work with atomic counters so
+// Maintenance() can be sampled without holding the engine's cache lock
+// (bench reporters and snapshots read it while queries are in flight).
+// The handlers that bump the counters still run serialized under that lock.
+type maintCounters struct {
+	updates atomic.Int64
+	nanos   atomic.Int64
+}
+
+// bump records n state updates.
+func (m *maintCounters) bump(n int64) { m.updates.Add(n) }
+
+// snapshot returns the counters as a Maint value.
+func (m *maintCounters) snapshot() Maint {
+	return Maint{Updates: m.updates.Load(), Time: time.Duration(m.nanos.Load())}
+}
+
+// timeMaint attributes fn's wall time to m.
+func timeMaint(m *maintCounters, fn func()) {
+	start := time.Now()
+	fn()
+	m.nanos.Add(int64(time.Since(start)))
+}
+
+// Strategy is a cache lookup strategy. Find, OnInsert and OnEvict mutate
+// shared summary state and must be called under the engine's cache lock;
+// Maintenance and Name may be called concurrently with them.
 type Strategy interface {
 	// Name identifies the strategy in reports ("ESM", "VCMC", …).
 	Name() string

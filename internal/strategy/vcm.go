@@ -24,7 +24,7 @@ type VCM struct {
 	lat     *lattice.Lattice
 	present *presence
 	counts  [][]int32
-	maint   Maint
+	maint   maintCounters
 	visited int64
 }
 
@@ -101,7 +101,7 @@ func (s *VCM) OnInsert(e *cache.Entry) {
 // computable, propagates to every child whose sibling set through this
 // group-by just completed.
 func (s *VCM) inc(gb lattice.ID, num int) {
-	s.maint.Updates++
+	s.maint.bump(1)
 	s.counts[gb][num]++
 	if s.counts[gb][num] > 1 {
 		return // was already computable; children unaffected
@@ -137,7 +137,7 @@ func (s *VCM) OnEvict(e *cache.Entry) {
 // computable, every child whose path through this group-by was previously
 // complete loses that path.
 func (s *VCM) dec(gb lattice.ID, num int) {
-	s.maint.Updates++
+	s.maint.bump(1)
 	s.counts[gb][num]--
 	if s.counts[gb][num] > 0 {
 		return // still computable; children unaffected
@@ -169,7 +169,7 @@ func (s *VCM) dec(gb lattice.ID, num int) {
 func (s *VCM) Overhead() int64 { return s.grid.TotalChunks() }
 
 // Maintenance implements Strategy.
-func (s *VCM) Maintenance() Maint { return s.maint }
+func (s *VCM) Maintenance() Maint { return s.maint.snapshot() }
 
 // LastVisited implements Strategy.
 func (s *VCM) LastVisited() int64 { return s.visited }

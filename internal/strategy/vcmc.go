@@ -35,7 +35,7 @@ type VCMC struct {
 	counts  [][]int32
 	costs   [][]int64
 	best    [][]int16 // index into lat.Parents(gb); -1 none, -2 present
-	maint   Maint
+	maint   maintCounters
 	visited int64
 	// levelSum[gb] orders propagation: children always have a strictly
 	// smaller sum, so processing pending nodes by descending sum recomputes
@@ -190,7 +190,7 @@ func (s *VCMC) propagate(gb lattice.ID, num int) {
 // of its lattice parents and its own presence. It reports whether the
 // chunk's externally visible state (computability or least cost) changed.
 func (s *VCMC) recompute(gb lattice.ID, num int) bool {
-	s.maint.Updates++
+	s.maint.bump(1)
 	oldCount, oldCost := s.counts[gb][num], s.costs[gb][num]
 	newCount := int32(0)
 	newCost := int64(infCost)
@@ -233,7 +233,7 @@ func (s *VCMC) recompute(gb lattice.ID, num int) bool {
 func (s *VCMC) Overhead() int64 { return 6 * s.grid.TotalChunks() }
 
 // Maintenance implements Strategy.
-func (s *VCMC) Maintenance() Maint { return s.maint }
+func (s *VCMC) Maintenance() Maint { return s.maint.snapshot() }
 
 // LastVisited implements Strategy.
 func (s *VCMC) LastVisited() int64 { return s.visited }
