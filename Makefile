@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench ci
+.PHONY: build test vet race bench fmt cover ci
 
 build:
 	$(GO) build ./...
@@ -19,4 +19,12 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 100x -run XXX .
 
-ci: vet race
+# fmt fails (and lists the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+ci: fmt vet race cover

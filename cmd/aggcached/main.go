@@ -6,6 +6,10 @@
 //
 //	aggcached -scale small -listen 127.0.0.1:7071                  # in-process backend
 //	aggcached -scale small -backend 127.0.0.1:7070 -preload        # against backendd
+//	aggcached -scale small -ops 127.0.0.1:9090                     # + live observability
+//
+// With -ops set, an HTTP listener serves /metrics (Prometheus text format),
+// /healthz, /traces (recent query provenance as JSON) and /debug/pprof/.
 package main
 
 import (
@@ -22,7 +26,9 @@ import (
 	"aggcache/internal/core"
 	"aggcache/internal/data"
 	"aggcache/internal/mtier"
+	"aggcache/internal/obs"
 	"aggcache/internal/sizer"
+	"aggcache/internal/strategy"
 )
 
 func main() {
@@ -36,6 +42,8 @@ func main() {
 		preloadFlag = flag.Bool("preload", false, "preload the best-fitting group-by before serving")
 		bypassFlag  = flag.Bool("cost-bypass", false, "enable the §5.2 cost-based cache/backend routing")
 		snapFlag    = flag.String("snapshot", "", "cache snapshot file: loaded at startup if present, written on shutdown")
+		opsFlag     = flag.String("ops", "", "ops HTTP listen address serving /metrics, /healthz, /traces and /debug/pprof (empty = disabled)")
+		tracesFlag  = flag.Int("traces", obs.DefaultTraceDepth, "query traces retained for /traces")
 	)
 	flag.Parse()
 
@@ -47,6 +55,15 @@ func main() {
 	grid, err := chunk.NewGrid(cfg.Schema, cfg.ChunkCounts)
 	if err != nil {
 		fatal(err)
+	}
+
+	// Observability: one registry and trace ring shared by every tier of
+	// the process; disabled entirely (nil bundles, no overhead) without -ops.
+	var reg *obs.Registry
+	var ring *obs.TraceRing
+	if *opsFlag != "" {
+		reg = obs.NewRegistry()
+		ring = obs.NewTraceRing(*tracesFlag)
 	}
 
 	var be backend.Backend
@@ -70,6 +87,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if reg != nil {
+			engine.SetMetrics(obs.NewBackendMetrics(reg))
+		}
 		be = engine
 	}
 	defer be.Close()
@@ -80,13 +100,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if reg != nil {
+		strat = strategy.Instrument(strat, obs.NewStrategyMetrics(reg, strat.Name()))
+	}
 	c, err := cache.New(*cacheKBFlag<<10, cache.NewTwoLevel())
 	if err != nil {
 		fatal(err)
 	}
+	if reg != nil {
+		c.SetMetrics(obs.NewCacheMetrics(reg))
+	}
 	eng, err := core.New(grid, c, strat, be, sz, core.Options{CostBypass: *bypassFlag})
 	if err != nil {
 		fatal(err)
+	}
+	if reg != nil {
+		eng.SetMetrics(obs.NewEngineMetrics(reg))
 	}
 	if *snapFlag != "" {
 		if f, err := os.Open(*snapFlag); err == nil {
@@ -108,12 +137,22 @@ func main() {
 	}
 
 	srv := mtier.NewServer(eng)
+	if reg != nil {
+		srv.SetObs(reg, ring)
+	}
 	addr, err := srv.Listen(*listenFlag)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("aggcached: %s scale, %s strategy, %dKB cache, serving on %s\n",
 		scale, strat.Name(), *cacheKBFlag, addr)
+	if *opsFlag != "" {
+		opsAddr, err := srv.ServeOps(*opsFlag)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("aggcached: ops endpoint on http://%s/metrics\n", opsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

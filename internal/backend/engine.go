@@ -9,6 +9,7 @@ import (
 	"aggcache/internal/chunk"
 	"aggcache/internal/data"
 	"aggcache/internal/lattice"
+	"aggcache/internal/obs"
 )
 
 // factSource is one chunk-clustered relation the engine can scan: the base
@@ -45,6 +46,10 @@ type Engine struct {
 	// ancCache[(src<<32)|dst][d] maps a member at src's level to its
 	// ancestor at dst's level.
 	ancCache map[uint64][][]int32
+
+	// met is the optional live-metrics bundle (zero value records nothing);
+	// handles are atomics, so ComputeChunks records without taking mu.
+	met obs.BackendMetrics
 }
 
 // NewEngine loads the fact table into clustered chunk order. The table is
@@ -123,6 +128,10 @@ func (e *Engine) Rows() int64 {
 
 // Grid returns the engine's chunk grid.
 func (e *Engine) Grid() *chunk.Grid { return e.grid }
+
+// SetMetrics attaches live observability metrics. Call it before the engine
+// serves requests; it is not synchronized with requests in flight.
+func (e *Engine) SetMetrics(m obs.BackendMetrics) { e.met = m }
 
 // Materialize precomputes and stores the given group-bys, clustered on
 // chunk number, so requests on their descendants scan the (much smaller)
@@ -268,6 +277,12 @@ func (e *Engine) ComputeChunks(gb lattice.ID, nums []int) ([]*chunk.Chunk, Stats
 	}
 	stats.Wall = time.Since(start)
 	stats.Sim = e.latency.charge(stats.TuplesScanned)
+	e.met.Requests.Inc()
+	e.met.Chunks.Add(int64(len(out)))
+	e.met.TuplesScanned.Add(stats.TuplesScanned)
+	e.met.ResultCells.Add(stats.ResultCells)
+	e.met.Wall.Observe(stats.Wall)
+	e.met.Sim.Observe(stats.Sim)
 	if e.latency.Sleep {
 		time.Sleep(stats.Sim)
 	}

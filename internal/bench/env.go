@@ -14,6 +14,7 @@ import (
 	"aggcache/internal/chunk"
 	"aggcache/internal/core"
 	"aggcache/internal/data"
+	"aggcache/internal/obs"
 	"aggcache/internal/sizer"
 	"aggcache/internal/strategy"
 )
@@ -197,6 +198,10 @@ type SystemSpec struct {
 	// Backend overrides the environment's shared backend (e.g. one with
 	// materialized aggregates for the cost-bypass experiment).
 	Backend backend.Backend
+	// Obs, when non-nil, wires live observability (cache, strategy and
+	// engine metrics) into the built system — the production aggcached
+	// instrumentation, used by the observability overhead experiment.
+	Obs *obs.Registry
 }
 
 // NewSystem builds an engine with its own cache and strategy over the shared
@@ -206,6 +211,9 @@ func (e *Env) NewSystem(spec SystemSpec) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spec.Obs != nil {
+		strat = strategy.Instrument(strat, obs.NewStrategyMetrics(spec.Obs, strat.Name()))
+	}
 	pol, err := NewPolicy(spec.Policy)
 	if err != nil {
 		return nil, err
@@ -214,6 +222,9 @@ func (e *Env) NewSystem(spec SystemSpec) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spec.Obs != nil {
+		c.SetMetrics(obs.NewCacheMetrics(spec.Obs))
+	}
 	be := backend.Backend(e.Backend)
 	if spec.Backend != nil {
 		be = spec.Backend
@@ -221,6 +232,9 @@ func (e *Env) NewSystem(spec SystemSpec) (*System, error) {
 	eng, err := core.New(e.Grid, c, strat, be, e.Sizer, spec.Options)
 	if err != nil {
 		return nil, err
+	}
+	if spec.Obs != nil {
+		eng.SetMetrics(obs.NewEngineMetrics(spec.Obs))
 	}
 	sys := &System{Engine: eng, Cache: c, Strategy: strat}
 	if spec.Preload {

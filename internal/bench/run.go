@@ -73,6 +73,7 @@ var experiments = []struct {
 	{"lemma1", one(Lemma1)},
 	{"lemma2", one(Lemma2)},
 	{"concurrency", one(ConcurrencySweep)},
+	{"observability", one(Observability)},
 }
 
 // aliases maps alternative ids (artifacts that share a runner) to canonical

@@ -10,6 +10,7 @@ import (
 
 	"aggcache/internal/chunk"
 	"aggcache/internal/lattice"
+	"aggcache/internal/obs"
 )
 
 // Key identifies a chunk of a group-by.
@@ -116,6 +117,10 @@ type Cache struct {
 	policy   Policy
 	listener Listener
 	stats    Stats
+	// met is the optional live-metrics bundle; its zero value records
+	// nothing. The handles are atomics, so an ops scraper can read them
+	// while the engine mutates the cache under its lock.
+	met obs.CacheMetrics
 }
 
 // New creates a cache bounded to capacity bytes using the given replacement
@@ -132,6 +137,21 @@ func New(capacity int64, policy Policy) (*Cache, error) {
 
 // SetListener registers the strategy callback; pass nil to clear.
 func (c *Cache) SetListener(l Listener) { c.listener = l }
+
+// SetMetrics attaches live observability metrics; call it before the cache
+// serves traffic (it is synchronized like every other cache method). The
+// occupancy gauges are initialized from the current state.
+func (c *Cache) SetMetrics(m obs.CacheMetrics) {
+	c.met = m
+	c.met.CapacityBytes.Set(c.capacity)
+	c.syncGauges()
+}
+
+// syncGauges publishes occupancy after a mutation.
+func (c *Cache) syncGauges() {
+	c.met.OccupancyBytes.Set(c.used)
+	c.met.ResidentChunks.Set(int64(len(c.entries)))
+}
 
 // Capacity returns the byte bound.
 func (c *Cache) Capacity() int64 { return c.capacity }
@@ -160,9 +180,11 @@ func (c *Cache) Get(k Key) (*chunk.Chunk, bool) {
 	e, ok := c.entries[k]
 	if !ok {
 		c.stats.Misses++
+		c.met.Misses.Inc()
 		return nil, false
 	}
 	c.stats.Hits++
+	c.met.Hits.Inc()
 	c.policy.Accessed(e)
 	return e.Data, true
 }
@@ -188,6 +210,7 @@ func (c *Cache) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool
 	need := data.Bytes()
 	if need > c.capacity {
 		c.stats.Denied++
+		c.met.Denied.Inc()
 		return false
 	}
 	if e, ok := c.entries[k]; ok {
@@ -199,6 +222,7 @@ func (c *Cache) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool
 				if v == nil {
 					e.pins--
 					c.stats.Denied++
+					c.met.Denied.Inc()
 					return false
 				}
 				c.remove(v, true)
@@ -215,12 +239,15 @@ func (c *Cache) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool
 		}
 		e.Benefit = benefit
 		c.policy.Accessed(e)
+		c.met.Replacements.Inc()
+		c.syncGauges()
 		return true
 	}
 	for c.used+need > c.capacity {
 		v := c.policy.NextVictim(cl)
 		if v == nil {
 			c.stats.Denied++
+			c.met.Denied.Inc()
 			return false
 		}
 		c.remove(v, true)
@@ -229,7 +256,9 @@ func (c *Cache) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool
 	c.entries[k] = e
 	c.used += need
 	c.stats.Inserts++
+	c.met.Inserts.Inc()
 	c.policy.Added(e)
+	c.syncGauges()
 	if c.listener != nil {
 		c.listener.OnInsert(e)
 	}
@@ -256,9 +285,12 @@ func (c *Cache) remove(e *Entry, policyEvict bool) {
 	c.used -= e.Bytes()
 	if policyEvict {
 		c.stats.Evictions++
+		c.met.EvictionsPolicy.Inc()
 	} else {
 		c.stats.Removals++
+		c.met.EvictionsAdmin.Inc()
 	}
+	c.syncGauges()
 	c.policy.Removed(e)
 	if c.listener != nil {
 		c.listener.OnEvict(e)
@@ -270,6 +302,7 @@ func (c *Cache) remove(e *Entry, policyEvict bool) {
 func (c *Cache) Pin(k Key) bool {
 	e, ok := c.entries[k]
 	if !ok {
+		c.met.PinFailures.Inc()
 		return false
 	}
 	e.pins++

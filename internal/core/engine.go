@@ -13,6 +13,7 @@ import (
 	"aggcache/internal/chunk"
 	"aggcache/internal/lattice"
 	"aggcache/internal/metrics"
+	"aggcache/internal/obs"
 	"aggcache/internal/sizer"
 	"aggcache/internal/strategy"
 )
@@ -122,6 +123,10 @@ type Engine struct {
 
 	flights flightGroup
 	stats   engineStats
+	// met is the optional live-metrics bundle; its zero value records
+	// nothing. All handles are atomics, so recording needs no lock and an
+	// ops scraper can read concurrently with queries in flight.
+	met obs.EngineMetrics
 }
 
 // New wires a cache, a lookup strategy and a backend into an engine. The
@@ -156,6 +161,10 @@ func (e *Engine) Strategy() strategy.Strategy { return e.strat }
 // Stats returns a copy of the cumulative counters.
 func (e *Engine) Stats() Stats { return e.stats.snapshot() }
 
+// SetMetrics attaches live observability metrics. Call it after New and
+// before the first Execute; it is not synchronized with queries in flight.
+func (e *Engine) SetMetrics(m obs.EngineMetrics) { e.met = m }
+
 // planned is one chunk of the query answerable from the cache, with the
 // pinned cache keys of its plan's leaves.
 type planned struct {
@@ -185,6 +194,15 @@ type aggOut struct {
 // the answer. Concurrent calls overlap; see the Engine doc for the locking
 // structure.
 func (e *Engine) Execute(q Query) (*Result, error) {
+	res, err := e.execute(q)
+	if err != nil {
+		e.met.QueryErrors.Inc()
+	}
+	return res, err
+}
+
+// execute is Execute without the error accounting wrapper.
+func (e *Engine) execute(q Query) (*Result, error) {
 	nq, err := q.normalize(e.grid)
 	if err != nil {
 		return nil, err
@@ -221,6 +239,7 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 		case errors.Is(err, strategy.ErrBudget):
 			res.BudgetExceeded = true
 			e.stats.budgetMisses.Add(1)
+			e.met.BudgetMisses.Inc()
 			found = false
 		case err != nil:
 			lookupErr = fmt.Errorf("core: lookup: %w", err)
@@ -281,12 +300,18 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 			e.mu.Unlock()
 			res.Bypassed += len(demoted)
 			e.stats.bypassed.Add(int64(len(demoted)))
+			e.met.Bypassed.Add(int64(len(demoted)))
 		}
 	}
 	res.Breakdown.Lookup = time.Since(lookupStart)
 	res.HitChunks = len(plans)
 	res.MissChunks = len(missing)
 	res.CompleteHit = len(missing) == 0
+	for _, p := range plans {
+		if !p.plan.Present {
+			res.AggChunks++
+		}
+	}
 
 	// Phase 2 — backend: one batched request for all missing chunks (the
 	// paper issues one SQL statement for the missing chunk numbers),
@@ -390,7 +415,35 @@ func (e *Engine) Execute(q Query) (*Result, error) {
 	e.stats.aggNS.Add(int64(res.Breakdown.Aggregate))
 	e.stats.updateNS.Add(int64(res.Breakdown.Update))
 	e.stats.backendNS.Add(int64(res.Breakdown.Backend))
+	e.observe(res)
 	return res, nil
+}
+
+// observe publishes one answered query to the live metrics. Every handle is
+// a preallocated atomic, so the whole call is branch-and-add when metrics
+// are attached and pure nil checks when they are not; phase histograms only
+// record phases the query actually ran, so quantiles are not diluted by
+// zeros.
+func (e *Engine) observe(res *Result) {
+	e.met.Queries.Inc()
+	if res.CompleteHit {
+		e.met.CompleteHits.Inc()
+	}
+	e.met.ChunksHit.Add(int64(res.HitChunks - res.AggChunks))
+	e.met.ChunksAggregated.Add(int64(res.AggChunks))
+	e.met.ChunksFetched.Add(int64(res.MissChunks))
+	e.met.AggregatedTuples.Add(res.AggregatedTuples)
+	e.met.Lookup.Observe(res.Breakdown.Lookup)
+	if res.HitChunks > 0 {
+		e.met.Aggregate.Observe(res.Breakdown.Aggregate)
+	}
+	if res.Breakdown.Update > 0 {
+		e.met.Update.Observe(res.Breakdown.Update)
+	}
+	if res.MissChunks > 0 {
+		e.met.Backend.Observe(res.Breakdown.Backend)
+	}
+	e.met.Query.Observe(res.Breakdown.Total())
 }
 
 // pinAll pins every key, rolling back already-taken pins on the first

@@ -112,6 +112,9 @@ type Result struct {
 	// HitChunks counts chunks answered from the cache (present or
 	// aggregated); MissChunks counts chunks computed at the backend.
 	HitChunks, MissChunks int
+	// AggChunks counts the subset of HitChunks that required in-cache
+	// aggregation (the rest were resident verbatim).
+	AggChunks int
 	// AggregatedTuples counts tuples scanned by in-cache aggregation.
 	AggregatedTuples int64
 	// BackendTuples counts tuples scanned at the backend.

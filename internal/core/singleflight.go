@@ -81,6 +81,8 @@ func (e *Engine) fetchMissing(gb lattice.ID, missing, missingIdx []int, res *Res
 		ownIdx = append(ownIdx, missingIdx[i])
 	}
 	e.flights.mu.Unlock()
+	e.met.FlightLeaderChunks.Add(int64(len(own)))
+	e.met.FlightFollowerChunks.Add(int64(len(waits)))
 
 	if len(own) > 0 {
 		chunks, bstats, err := e.back.ComputeChunks(gb, own)
@@ -93,6 +95,8 @@ func (e *Engine) fetchMissing(gb lattice.ID, missing, missingIdx []int, res *Res
 		res.BackendTuples += bstats.TuplesScanned
 		e.stats.backendQueries.Add(1)
 		e.stats.backendTuples.Add(bstats.TuplesScanned)
+		e.met.BackendRequests.Inc()
+		e.met.BackendTuples.Add(bstats.TuplesScanned)
 		benefit := (float64(bstats.TuplesScanned)*e.opts.BackendPenalty + e.opts.ConnectCostUnits) / float64(len(own))
 
 		// Insert before publishing the flights so followers that re-probe

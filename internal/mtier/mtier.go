@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
 	"aggcache/internal/chunk"
 	"aggcache/internal/core"
 	"aggcache/internal/mdq"
+	"aggcache/internal/obs"
 )
 
 // Request is one client query.
@@ -69,16 +71,82 @@ type Server struct {
 	engine *core.Engine
 	grid   *chunk.Grid
 
+	// reg/ring/met are the observability layer, wired by SetObs (or lazily
+	// by OpsHandler). met's handles are atomics; the ring takes its own
+	// short lock per trace.
+	reg  *obs.Registry
+	ring *obs.TraceRing
+	met  obs.ServerMetrics
+
 	mu     sync.Mutex
 	ln     net.Listener
 	closed bool
 	conns  map[net.Conn]struct{}
+	ops    *obs.OpsServer
 	wg     sync.WaitGroup
 }
 
 // NewServer wraps an engine for serving.
 func NewServer(engine *core.Engine) *Server {
 	return &Server{engine: engine, grid: engine.Grid(), conns: make(map[net.Conn]struct{})}
+}
+
+// SetObs attaches a metrics registry and query-trace ring. Call it before
+// Listen; it is not synchronized with requests in flight. Either argument
+// may be nil to disable that half.
+func (s *Server) SetObs(reg *obs.Registry, ring *obs.TraceRing) {
+	s.reg = reg
+	s.ring = ring
+	if reg != nil {
+		s.met = obs.NewServerMetrics(reg)
+	}
+}
+
+// Healthy reports whether the server is accepting queries; it is the
+// /healthz signal and flips to false on Close.
+func (s *Server) Healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
+}
+
+// Traces returns the server's trace ring (nil when tracing is off).
+func (s *Server) Traces() *obs.TraceRing { return s.ring }
+
+// OpsHandler returns the ops HTTP handler (/metrics, /healthz, /traces,
+// /debug/pprof/) over this server's observability state, wiring a default
+// registry and trace ring first if SetObs was never called.
+func (s *Server) OpsHandler() http.Handler {
+	if s.reg == nil {
+		s.SetObs(obs.NewRegistry(), obs.NewTraceRing(0))
+	}
+	return obs.NewHandler(s.reg, s.ring, s.Healthy)
+}
+
+// ServeOps starts the ops HTTP listener on addr and returns the bound
+// address. The listener is shut down by Close. Like Listen, a server serves
+// ops at most once.
+func (s *Server) ServeOps(addr string) (string, error) {
+	h := s.OpsHandler()
+	s.mu.Lock()
+	if s.closed || s.ops != nil {
+		s.mu.Unlock()
+		return "", errors.New("mtier: ops listener already started or server closed")
+	}
+	s.mu.Unlock()
+	ops, err := obs.Serve(addr, h)
+	if err != nil {
+		return "", fmt.Errorf("mtier: ops: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed || s.ops != nil {
+		s.mu.Unlock()
+		ops.Close()
+		return "", errors.New("mtier: ops listener already started or server closed")
+	}
+	s.ops = ops
+	s.mu.Unlock()
+	return ops.Addr(), nil
 }
 
 // Listen starts accepting connections on addr and returns the bound
@@ -133,7 +201,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	s.met.ConnectionsOpen.Add(1)
 	defer func() {
+		s.met.ConnectionsOpen.Add(-1)
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -153,17 +223,37 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// answer executes one query.
+// answer executes one query, recording metrics and a trace-ring entry for
+// every outcome. Failures are counted server-side by kind — not just folded
+// into the wire Err string — so a misbehaving client or a failing backend
+// is visible on /metrics and /traces.
 func (s *Server) answer(req Request) *Response {
+	start := time.Now()
+	s.met.Requests.Inc()
 	q, agg, err := mdq.Compile(req.Query, s.grid)
 	if err != nil {
-		return &Response{Err: err.Error()}
-	}
-	res, err := s.engine.Execute(q)
-	if err != nil {
+		s.met.CompileErrors.Inc()
+		s.met.Latency.Observe(time.Since(start))
+		s.ring.Add(obs.QueryTrace{
+			Start: start, Query: req.Query,
+			TotalNS: int64(time.Since(start)),
+			Outcome: "compile_error", Err: err.Error(),
+		})
 		return &Response{Err: err.Error()}
 	}
 	lat := s.grid.Lattice()
+	res, err := s.engine.Execute(q)
+	if err != nil {
+		s.met.ExecuteErrors.Inc()
+		s.met.Latency.Observe(time.Since(start))
+		s.ring.Add(obs.QueryTrace{
+			Start: start, Query: req.Query,
+			GroupBy: lat.LevelTupleString(q.GB),
+			TotalNS: int64(time.Since(start)),
+			Outcome: "execute_error", Err: err.Error(),
+		})
+		return &Response{Err: err.Error()}
+	}
 	lv := lat.Level(q.GB)
 	sch := s.grid.Schema()
 	resp := &Response{
@@ -193,14 +283,36 @@ func (s *Server) answer(req Request) *Response {
 			})
 		}
 	}
+	s.met.Latency.Observe(time.Since(start))
+	s.ring.Add(obs.QueryTrace{
+		Start:            start,
+		Query:            req.Query,
+		GroupBy:          lat.LevelTupleString(q.GB),
+		Chunks:           len(res.Chunks),
+		Hit:              res.HitChunks - res.AggChunks,
+		Aggregated:       res.AggChunks,
+		Fetched:          res.MissChunks,
+		AggregatedTuples: res.AggregatedTuples,
+		BackendTuples:    res.BackendTuples,
+		LookupNS:         int64(res.Breakdown.Lookup),
+		AggregateNS:      int64(res.Breakdown.Aggregate),
+		UpdateNS:         int64(res.Breakdown.Update),
+		BackendNS:        int64(res.Breakdown.Backend),
+		TotalNS:          int64(time.Since(start)),
+		CompleteHit:      res.CompleteHit,
+		Outcome:          "ok",
+	})
 	return resp
 }
 
-// Close stops the listener and closes active connections.
+// Close stops the listener, closes active connections, and finally shuts
+// the ops HTTP listener down. The closed flag flips first, so /healthz
+// reports unhealthy for the remainder of the shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
+	ops := s.ops
 	for c := range s.conns {
 		c.Close()
 	}
@@ -210,6 +322,9 @@ func (s *Server) Close() error {
 		err = ln.Close()
 	}
 	s.wg.Wait()
+	if cerr := ops.Close(); err == nil {
+		err = cerr
+	}
 	return err
 }
 

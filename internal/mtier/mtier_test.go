@@ -13,9 +13,10 @@ import (
 	"aggcache/internal/strategy"
 )
 
-// startServer builds a tiny three-tier stack: in-process backend, cached
-// middle tier, TCP server.
-func startServer(t *testing.T) (*Server, string, *core.Engine, float64) {
+// newTestServer builds a tiny three-tier stack — in-process backend, cached
+// middle tier — without listening, so callers can attach observability
+// first.
+func newTestServer(t *testing.T) (*Server, *core.Engine, float64) {
 	t.Helper()
 	cfg := apb.New(apb.ScaleTiny)
 	g, tab, err := cfg.Build(44)
@@ -36,7 +37,13 @@ func startServer(t *testing.T) (*Server, string, *core.Engine, float64) {
 	for i := 0; i < tab.Len(); i++ {
 		total += tab.Value(i)
 	}
-	srv := NewServer(eng)
+	return NewServer(eng), eng, total
+}
+
+// startServer is newTestServer plus a live TCP listener.
+func startServer(t *testing.T) (*Server, string, *core.Engine, float64) {
+	t.Helper()
+	srv, eng, total := newTestServer(t)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("Listen: %v", err)

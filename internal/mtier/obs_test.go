@@ -1,0 +1,219 @@
+package mtier
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"aggcache/internal/obs"
+)
+
+// startObsServer is startServer with the observability layer attached
+// (before Listen, per the SetObs contract).
+func startObsServer(t *testing.T) (*Server, string, *obs.Registry, *obs.TraceRing) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	ring := obs.NewTraceRing(8)
+	srv, _, _ := newTestServer(t)
+	srv.SetObs(reg, ring)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr, reg, ring
+}
+
+func scrape(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	body, _ := io.ReadAll(w.Result().Body)
+	return w.Result().StatusCode, string(body)
+}
+
+// metricValue finds a sample value on a /metrics page by exact series name.
+func metricValue(t *testing.T, page, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(page, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return strings.TrimPrefix(line, name+" ")
+		}
+	}
+	t.Fatalf("series %q not found in /metrics", name)
+	return ""
+}
+
+func TestOpsMetricsMoveUnderWorkload(t *testing.T) {
+	srv, addr, _, ring := startObsServer(t)
+	h := srv.OpsHandler()
+
+	code, page := scrape(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if metricValue(t, page, "aggcache_server_requests_total") != "0" {
+		t.Fatalf("requests_total non-zero before any query:\n%s", page)
+	}
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Query("SUM(UnitSales) BY Time:Year"); err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+	}
+
+	_, page = scrape(t, h, "/metrics")
+	if got := metricValue(t, page, "aggcache_server_requests_total"); got != "3" {
+		t.Fatalf("requests_total = %s, want 3", got)
+	}
+	if got := metricValue(t, page, "aggcache_server_request_seconds_count"); got != "3" {
+		t.Fatalf("request_seconds_count = %s, want 3", got)
+	}
+	if ring.Total() != 3 {
+		t.Fatalf("ring.Total = %d, want 3", ring.Total())
+	}
+	traces := ring.Snapshot()
+	last := traces[len(traces)-1]
+	if last.Outcome != "ok" || !last.CompleteHit {
+		t.Fatalf("third trace: %+v", last)
+	}
+	if last.Hit+last.Aggregated == 0 || last.Fetched != 0 {
+		t.Fatalf("warm trace provenance: %+v", last)
+	}
+}
+
+// TestAnswerRecordsErrors is the regression test for the silent-failure fix:
+// a bad query must be visible as an error counter and an error trace, not
+// only as the wire Err string.
+func TestAnswerRecordsErrors(t *testing.T) {
+	srv, addr, _, ring := startObsServer(t)
+	h := srv.OpsHandler()
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query("THIS IS NOT MDQ"); err == nil {
+		t.Fatal("bad query succeeded")
+	}
+	if _, err := cl.Query("SUM(UnitSales) BY NoSuchDim:Level"); err == nil {
+		t.Fatal("unknown dimension succeeded")
+	}
+
+	_, page := scrape(t, h, "/metrics")
+	var compile string
+	for _, line := range strings.Split(page, "\n") {
+		if strings.HasPrefix(line, "aggcache_server_request_errors_total{kind=\"compile\"} ") {
+			compile = line[strings.LastIndex(line, " ")+1:]
+		}
+	}
+	if compile != "2" {
+		t.Fatalf("compile errors = %q, want 2\n%s", compile, page)
+	}
+	if got := metricValue(t, page, "aggcache_server_requests_total"); got != "2" {
+		t.Fatalf("requests_total = %s, want 2", got)
+	}
+	traces := ring.Snapshot()
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.Outcome != "compile_error" || tr.Err == "" {
+			t.Fatalf("error trace: %+v", tr)
+		}
+	}
+}
+
+func TestOpsTracesEndpoint(t *testing.T) {
+	srv, addr, _, _ := startObsServer(t)
+	h := srv.OpsHandler()
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query("SUM(UnitSales) BY Time:Year"); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+
+	code, body := scrape(t, h, "/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/traces = %d", code)
+	}
+	var page struct {
+		Total  int64            `json:"total"`
+		Traces []obs.QueryTrace `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatalf("unmarshal /traces: %v\n%s", err, body)
+	}
+	if page.Total != 1 || len(page.Traces) != 1 {
+		t.Fatalf("traces page: total=%d len=%d", page.Total, len(page.Traces))
+	}
+	if page.Traces[0].Query != "SUM(UnitSales) BY Time:Year" || page.Traces[0].GroupBy == "" {
+		t.Fatalf("trace: %+v", page.Traces[0])
+	}
+}
+
+func TestHealthzFlipsOnClose(t *testing.T) {
+	srv, _, _, _ := startObsServer(t)
+	h := srv.OpsHandler()
+
+	if code, body := scrape(t, h, "/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz before close: %d %q", code, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if code, _ := scrape(t, h, "/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz after close = %d, want 503", code)
+	}
+}
+
+func TestServeOpsLifecycle(t *testing.T) {
+	srv, addr, _, _ := startObsServer(t)
+	opsAddr, err := srv.ServeOps("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeOps: %v", err)
+	}
+	if _, err := srv.ServeOps("127.0.0.1:0"); err == nil {
+		t.Fatal("second ServeOps succeeded")
+	}
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query("SUM(UnitSales) BY Time:Year"); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+
+	resp, err := http.Get("http://" + opsAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "aggcache_server_requests_total 1") {
+		t.Fatalf("live /metrics: %d\n%s", resp.StatusCode, body)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + opsAddr + "/healthz"); err == nil {
+		t.Fatal("ops listener still serving after Close")
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import "fmt"
+
+// This file defines the metric bundles the instrumented components record
+// into. Each bundle is a plain struct of metric handles; the zero value
+// (all-nil handles) is valid and records nothing, so components hold a
+// bundle by value and stay dependency-free of the registry itself. The
+// exported metric names below are the observability contract documented in
+// DESIGN.md §7.
+
+// EngineMetrics instruments core.Engine: query counts and outcomes, chunk
+// provenance, singleflight behavior, and the Figure-10 phase latencies.
+type EngineMetrics struct {
+	Queries      *Counter
+	QueryErrors  *Counter
+	CompleteHits *Counter
+	BudgetMisses *Counter
+	Bypassed     *Counter
+
+	ChunksHit        *Counter
+	ChunksAggregated *Counter
+	ChunksFetched    *Counter
+
+	AggregatedTuples *Counter
+	BackendTuples    *Counter
+	BackendRequests  *Counter
+
+	FlightLeaderChunks   *Counter
+	FlightFollowerChunks *Counter
+
+	Lookup    *Histogram
+	Aggregate *Histogram
+	Update    *Histogram
+	Backend   *Histogram
+	Query     *Histogram
+}
+
+// NewEngineMetrics registers the engine metric set on r.
+func NewEngineMetrics(r *Registry) EngineMetrics {
+	return EngineMetrics{
+		Queries:      r.Counter("aggcache_engine_queries_total", "Queries executed by the cache engine."),
+		QueryErrors:  r.Counter("aggcache_engine_query_errors_total", "Queries that failed inside the engine."),
+		CompleteHits: r.Counter("aggcache_engine_complete_hits_total", "Queries answered without any backend access."),
+		BudgetMisses: r.Counter("aggcache_engine_budget_misses_total", "Chunk lookups abandoned because the strategy exhausted its node budget."),
+		Bypassed:     r.Counter("aggcache_engine_bypassed_chunks_total", "Cache-computable chunks routed to the backend by the cost-based optimizer."),
+
+		ChunksHit:        r.Counter("aggcache_engine_chunks_hit_total", "Chunks answered directly by a resident cache entry."),
+		ChunksAggregated: r.Counter("aggcache_engine_chunks_aggregated_total", "Chunks computed by aggregating other cached chunks."),
+		ChunksFetched:    r.Counter("aggcache_engine_chunks_fetched_total", "Chunks fetched from the backend (cache misses)."),
+
+		AggregatedTuples: r.Counter("aggcache_engine_aggregated_tuples_total", "Tuples scanned by in-cache aggregation."),
+		BackendTuples:    r.Counter("aggcache_engine_backend_tuples_total", "Tuples scanned at the backend on behalf of this engine."),
+		BackendRequests:  r.Counter("aggcache_engine_backend_requests_total", "Batched backend requests issued."),
+
+		FlightLeaderChunks:   r.Counter("aggcache_engine_flight_leader_chunks_total", "Missing chunks this engine fetched as singleflight leader."),
+		FlightFollowerChunks: r.Counter("aggcache_engine_flight_follower_chunks_total", "Missing chunks satisfied by waiting on another query's in-flight fetch."),
+
+		Lookup:    r.Histogram("aggcache_engine_lookup_seconds", "Per-query cache lookup (strategy Find) phase latency."),
+		Aggregate: r.Histogram("aggcache_engine_aggregate_seconds", "Per-query in-cache aggregation phase latency."),
+		Update:    r.Histogram("aggcache_engine_update_seconds", "Per-query strategy maintenance (virtual count/cost update) latency."),
+		Backend:   r.Histogram("aggcache_engine_backend_seconds", "Per-query backend phase latency (compute plus simulated network)."),
+		Query:     r.Histogram("aggcache_engine_query_seconds", "Whole-query latency as the sum of the phase breakdown."),
+	}
+}
+
+// CacheMetrics instruments cache.Cache: occupancy, traffic, and the
+// replacement behavior split by cause.
+type CacheMetrics struct {
+	CapacityBytes  *Gauge
+	OccupancyBytes *Gauge
+	ResidentChunks *Gauge
+
+	Hits         *Counter
+	Misses       *Counter
+	Inserts      *Counter
+	Replacements *Counter
+
+	EvictionsPolicy *Counter
+	EvictionsAdmin  *Counter
+	Denied          *Counter
+	PinFailures     *Counter
+}
+
+// NewCacheMetrics registers the cache metric set on r.
+func NewCacheMetrics(r *Registry) CacheMetrics {
+	return CacheMetrics{
+		CapacityBytes:  r.Gauge("aggcache_cache_capacity_bytes", "Configured cache capacity."),
+		OccupancyBytes: r.Gauge("aggcache_cache_occupancy_bytes", "Bytes currently charged to resident chunks."),
+		ResidentChunks: r.Gauge("aggcache_cache_resident_chunks", "Number of resident chunks."),
+
+		Hits:         r.Counter("aggcache_cache_hits_total", "Cache lookups that found the chunk resident."),
+		Misses:       r.Counter("aggcache_cache_misses_total", "Cache lookups that missed."),
+		Inserts:      r.Counter("aggcache_cache_inserts_total", "Chunks newly admitted to the cache."),
+		Replacements: r.Counter("aggcache_cache_replacements_total", "Resident chunks whose payload was replaced in place."),
+
+		EvictionsPolicy: r.Counter(`aggcache_cache_evictions_total{cause="policy"}`, "Chunks removed, by cause: policy-chosen victims vs administrative removal."),
+		EvictionsAdmin:  r.Counter(`aggcache_cache_evictions_total{cause="admin"}`, ""),
+		Denied:          r.Counter("aggcache_cache_admission_denied_total", "Insertions denied by the replacement policy or the size bound."),
+		PinFailures:     r.Counter("aggcache_cache_pin_failures_total", "Pin attempts on chunks that were not resident."),
+	}
+}
+
+// StrategyMetrics instruments a lookup strategy through strategy.Instrument.
+// All series carry a strategy=… label so several strategies can share a
+// registry.
+type StrategyMetrics struct {
+	Finds        *Counter
+	FindHits     *Counter
+	NodesVisited *Counter
+	FindLatency  *Histogram
+}
+
+// NewStrategyMetrics registers the strategy metric set on r, labeled with
+// the strategy name.
+func NewStrategyMetrics(r *Registry, strategy string) StrategyMetrics {
+	l := fmt.Sprintf("{strategy=%q}", strategy)
+	return StrategyMetrics{
+		Finds:        r.Counter("aggcache_strategy_find_total"+l, "Cache lookup (Find) calls per strategy."),
+		FindHits:     r.Counter("aggcache_strategy_find_hits_total"+l, "Find calls that produced an executable plan."),
+		NodesVisited: r.Counter("aggcache_strategy_nodes_visited_total"+l, "Lattice nodes visited across all Find calls."),
+		FindLatency:  r.Histogram("aggcache_strategy_find_seconds"+l, "Single Find call latency per strategy."),
+	}
+}
+
+// BackendMetrics instruments backend.Engine: request traffic and the split
+// between real compute and the simulated network/DBMS latency.
+type BackendMetrics struct {
+	Requests      *Counter
+	Chunks        *Counter
+	TuplesScanned *Counter
+	ResultCells   *Counter
+	Wall          *Histogram
+	Sim           *Histogram
+}
+
+// NewBackendMetrics registers the backend metric set on r.
+func NewBackendMetrics(r *Registry) BackendMetrics {
+	return BackendMetrics{
+		Requests:      r.Counter("aggcache_backend_requests_total", "ComputeChunks requests served."),
+		Chunks:        r.Counter("aggcache_backend_chunks_computed_total", "Chunks computed at the backend."),
+		TuplesScanned: r.Counter("aggcache_backend_tuples_scanned_total", "Fact/aggregate tuples scanned."),
+		ResultCells:   r.Counter("aggcache_backend_result_cells_total", "Result cells produced."),
+		Wall:          r.Histogram("aggcache_backend_request_seconds", "Real compute time per backend request."),
+		Sim:           r.Histogram("aggcache_backend_sim_seconds", "Simulated network/DBMS latency charged per backend request."),
+	}
+}
+
+// ServerMetrics instruments mtier.Server: connection and request traffic
+// with failures counted by kind.
+type ServerMetrics struct {
+	ConnectionsOpen *Gauge
+	Requests        *Counter
+	CompileErrors   *Counter
+	ExecuteErrors   *Counter
+	Latency         *Histogram
+}
+
+// NewServerMetrics registers the middle-tier server metric set on r.
+func NewServerMetrics(r *Registry) ServerMetrics {
+	return ServerMetrics{
+		ConnectionsOpen: r.Gauge("aggcache_server_connections_open", "Client connections currently served."),
+		Requests:        r.Counter("aggcache_server_requests_total", "Requests received."),
+		CompileErrors:   r.Counter(`aggcache_server_request_errors_total{kind="compile"}`, "Failed requests, by failure kind."),
+		ExecuteErrors:   r.Counter(`aggcache_server_request_errors_total{kind="execute"}`, ""),
+		Latency:         r.Histogram("aggcache_server_request_seconds", "Server-side wall time per request."),
+	}
+}

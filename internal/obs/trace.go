@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// QueryTrace is the per-query provenance record the middle tier keeps for
+// recent queries: what was asked, how the plan resolved (chunks answered
+// directly, by in-cache aggregation, or fetched from the backend), the
+// Figure-10 phase timings, and the outcome.
+type QueryTrace struct {
+	// ID is a process-unique, monotonically increasing sequence number
+	// assigned by the ring.
+	ID uint64 `json:"id"`
+	// Start is when the server began handling the query.
+	Start time.Time `json:"start"`
+	// Query is the mdq source text as received.
+	Query string `json:"query"`
+	// GroupBy is the resolved group-by level tuple (the plan shape), empty
+	// when compilation failed.
+	GroupBy string `json:"group_by,omitempty"`
+	// Chunks is the number of chunks the query covered; Hit of them were
+	// resident, Aggregated were computed from other cached chunks, and
+	// Fetched came from the backend.
+	Chunks     int `json:"chunks"`
+	Hit        int `json:"hit"`
+	Aggregated int `json:"aggregated"`
+	Fetched    int `json:"fetched"`
+	// AggregatedTuples and BackendTuples count tuples scanned in-cache and
+	// at the backend.
+	AggregatedTuples int64 `json:"aggregated_tuples"`
+	BackendTuples    int64 `json:"backend_tuples"`
+	// LookupNS/AggregateNS/UpdateNS/BackendNS are the Figure-10 phase
+	// timings; TotalNS is the server-side wall time for the whole request.
+	LookupNS    int64 `json:"lookup_ns"`
+	AggregateNS int64 `json:"aggregate_ns"`
+	UpdateNS    int64 `json:"update_ns"`
+	BackendNS   int64 `json:"backend_ns"`
+	TotalNS     int64 `json:"total_ns"`
+	// CompleteHit reports the query was answered without the backend.
+	CompleteHit bool `json:"complete_hit"`
+	// Outcome is "ok", "compile_error" or "execute_error"; Err carries the
+	// error text for the failure outcomes.
+	Outcome string `json:"outcome"`
+	Err     string `json:"err,omitempty"`
+}
+
+// TraceRing keeps the most recent query traces in a fixed-size ring buffer.
+// Add is O(1) and copies one struct; a nil *TraceRing is a no-op, so
+// tracing can be disabled like any other metric.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []QueryTrace
+	total uint64
+}
+
+// DefaultTraceDepth is the ring capacity used when none is given.
+const DefaultTraceDepth = 256
+
+// NewTraceRing returns a ring holding the last n traces (DefaultTraceDepth
+// when n <= 0).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = DefaultTraceDepth
+	}
+	return &TraceRing{buf: make([]QueryTrace, n)}
+}
+
+// Add records one trace, assigning and returning its sequence ID (1-based).
+// The oldest trace is overwritten once the ring is full.
+func (r *TraceRing) Add(t QueryTrace) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	r.total++
+	t.ID = r.total
+	r.buf[(r.total-1)%uint64(len(r.buf))] = t
+	r.mu.Unlock()
+	return t.ID
+}
+
+// Total returns how many traces have ever been added.
+func (r *TraceRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained traces, oldest first.
+func (r *TraceRing) Snapshot() []QueryTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	kept := r.total
+	if kept > n {
+		kept = n
+	}
+	out := make([]QueryTrace, 0, kept)
+	for i := r.total - kept; i < r.total; i++ {
+		out = append(out, r.buf[i%n])
+	}
+	return out
+}

@@ -1,7 +1,6 @@
 package strategy
 
 import (
-
 	"aggcache/internal/cache"
 	"aggcache/internal/chunk"
 	"aggcache/internal/lattice"
