@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench fmt cover ci
+.PHONY: build test vet race bench fmt cover chaos ci
 
 build:
 	$(GO) build ./...
@@ -26,5 +26,11 @@ fmt:
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
+
+# chaos runs the fault-injection suite under the race detector and the
+# availability experiment end to end.
+chaos:
+	$(GO) test -race -run 'Chaos|Degraded|Flight|Breaker|Faulty|Remote|Malformed' ./internal/core ./internal/backend ./internal/mtier
+	$(GO) run ./cmd/aggbench -scale tiny -exp chaos
 
 ci: fmt vet race cover

@@ -6,6 +6,7 @@
 package aggcache_test
 
 import (
+	"context"
 	"testing"
 
 	"aggcache/internal/apb"
@@ -208,7 +209,7 @@ func BenchmarkUnitBackendCompute(b *testing.B) {
 	lat := e.Grid.Lattice()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := e.Backend.ComputeChunks(lat.Top(), []int{0}); err != nil {
+		if _, _, err := e.Backend.ComputeChunks(context.Background(), lat.Top(), []int{0}); err != nil {
 			b.Fatalf("ComputeChunks: %v", err)
 		}
 	}
@@ -263,7 +264,7 @@ func BenchmarkBackendScan(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := e.Backend.ComputeChunks(lat.Base(), nums); err != nil {
+		if _, _, err := e.Backend.ComputeChunks(context.Background(), lat.Base(), nums); err != nil {
 			b.Fatalf("ComputeChunks: %v", err)
 		}
 	}

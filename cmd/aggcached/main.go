@@ -7,9 +7,17 @@
 //	aggcached -scale small -listen 127.0.0.1:7071                  # in-process backend
 //	aggcached -scale small -backend 127.0.0.1:7070 -preload        # against backendd
 //	aggcached -scale small -ops 127.0.0.1:9090                     # + live observability
+//	aggcached -backend 127.0.0.1:7070 -query-timeout 2s            # bounded queries
 //
 // With -ops set, an HTTP listener serves /metrics (Prometheus text format),
 // /healthz, /traces (recent query provenance as JSON) and /debug/pprof/.
+//
+// The backend path is fault tolerant: remote requests are retried with
+// capped exponential backoff (-backend-attempts, -backend-backoff,
+// -backend-io-timeout), a circuit breaker (-breaker-threshold,
+// -breaker-cooldown) fails fast once the backend is down, and while it is
+// open the cache keeps answering every cache-computable query (degraded
+// mode — /healthz stays 200 and says so).
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"aggcache/internal/apb"
 	"aggcache/internal/backend"
@@ -44,6 +53,13 @@ func main() {
 		snapFlag    = flag.String("snapshot", "", "cache snapshot file: loaded at startup if present, written on shutdown")
 		opsFlag     = flag.String("ops", "", "ops HTTP listen address serving /metrics, /healthz, /traces and /debug/pprof (empty = disabled)")
 		tracesFlag  = flag.Int("traces", obs.DefaultTraceDepth, "query traces retained for /traces")
+
+		queryTimeoutFlag = flag.Duration("query-timeout", 0, "per-query execution deadline (0 = unbounded)")
+		attemptsFlag     = flag.Int("backend-attempts", backend.DefaultRetryPolicy.MaxAttempts, "tries per remote backend request, including the first")
+		backoffFlag      = flag.Duration("backend-backoff", backend.DefaultRetryPolicy.BaseBackoff, "base backoff before the first remote retry (doubles, jittered, capped)")
+		ioTimeoutFlag    = flag.Duration("backend-io-timeout", backend.DefaultRetryPolicy.IOTimeout, "wire deadline per remote backend exchange")
+		brkThreshFlag    = flag.Int("breaker-threshold", 5, "consecutive backend failures that open the circuit breaker (0 = breaker disabled)")
+		brkCooldownFlag  = flag.Duration("breaker-cooldown", 2*time.Second, "how long the breaker stays open before probing the backend")
 	)
 	flag.Parse()
 
@@ -69,12 +85,20 @@ func main() {
 	var be backend.Backend
 	rows := cfg.Rows
 	if *backendFlag != "" {
-		remote, err := backend.Dial(*backendFlag)
+		pol := backend.DefaultRetryPolicy
+		pol.MaxAttempts = *attemptsFlag
+		pol.BaseBackoff = *backoffFlag
+		pol.IOTimeout = *ioTimeoutFlag
+		remote, err := backend.DialPolicy(*backendFlag, pol)
 		if err != nil {
 			fatal(err)
 		}
+		if reg != nil {
+			remote.SetMetrics(obs.NewRemoteMetrics(reg))
+		}
 		be = remote
-		fmt.Printf("aggcached: using remote backend %s\n", *backendFlag)
+		fmt.Printf("aggcached: using remote backend %s (%d attempts, %v base backoff)\n",
+			*backendFlag, pol.MaxAttempts, pol.BaseBackoff)
 	} else {
 		tab, err := data.Generate(cfg.Schema, data.Params{
 			Rows: cfg.Rows, Density: cfg.Density, TimeDim: cfg.TimeDim, Seed: *seedFlag,
@@ -91,6 +115,16 @@ func main() {
 			engine.SetMetrics(obs.NewBackendMetrics(reg))
 		}
 		be = engine
+	}
+	if *brkThreshFlag > 0 {
+		brk := backend.NewBreaker(be, backend.BreakerConfig{
+			FailureThreshold: *brkThreshFlag,
+			Cooldown:         *brkCooldownFlag,
+		})
+		if reg != nil {
+			brk.SetMetrics(obs.NewBreakerMetrics(reg))
+		}
+		be = brk
 	}
 	defer be.Close()
 
@@ -137,6 +171,7 @@ func main() {
 	}
 
 	srv := mtier.NewServer(eng)
+	srv.SetQueryTimeout(*queryTimeoutFlag)
 	if reg != nil {
 		srv.SetObs(reg, ring)
 	}

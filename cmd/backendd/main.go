@@ -30,6 +30,10 @@ func main() {
 		listenFlag = flag.String("listen", "127.0.0.1:7070", "listen address")
 		sleepFlag  = flag.Bool("sleep", false, "actually sleep the simulated backend latency")
 		viewsFlag  = flag.Int("views", 0, "materialize up to this many greedy [HRU96] aggregate views")
+
+		readTimeoutFlag  = flag.Duration("read-timeout", backend.DefaultTimeouts.Read, "idle deadline per connection awaiting the next request (0 = none)")
+		writeTimeoutFlag = flag.Duration("write-timeout", backend.DefaultTimeouts.Write, "deadline for writing one response")
+		reqTimeoutFlag   = flag.Duration("request-timeout", backend.DefaultTimeouts.Request, "compute deadline per request, replied as a transient error (0 = none)")
 	)
 	flag.Parse()
 
@@ -78,6 +82,11 @@ func main() {
 		fmt.Printf("backendd: materialized %d views: %s\n", len(sel.Views), sel.Describe(grid.Lattice()))
 	}
 	srv := backend.NewServer(engine)
+	srv.SetTimeouts(backend.Timeouts{
+		Read:    *readTimeoutFlag,
+		Write:   *writeTimeoutFlag,
+		Request: *reqTimeoutFlag,
+	})
 	addr, err := srv.Listen(*listenFlag)
 	if err != nil {
 		fatal(err)

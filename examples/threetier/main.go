@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -98,7 +99,7 @@ func main() {
 
 	// Verify the distributed answer against a direct computation.
 	lat := grid.Lattice()
-	local, _, err := dbEngine.ComputeChunks(lat.Top(), []int{0})
+	local, _, err := dbEngine.ComputeChunks(context.Background(), lat.Top(), []int{0})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package backend
 
 import (
+	"context"
 	"time"
 
 	"aggcache/internal/chunk"
@@ -16,15 +17,21 @@ import (
 
 // Backend answers chunk computation requests — the interface the middle
 // tier's cache manager issues its "single SQL statement" equivalent against.
+//
+// Every data method takes a context: implementations must return promptly
+// (with ctx.Err() or an error wrapping it) once the context is cancelled or
+// its deadline passes, so a hung backend can never hang a query. Transient
+// failures are classified by IsTransient and availability failures wrap
+// ErrUnavailable; see errors.go for the taxonomy.
 type Backend interface {
 	// ComputeChunks computes the requested chunks of group-by gb from the
 	// fact data. Chunks are returned in request order; chunks with no data
 	// are returned empty (zero cells), never nil.
-	ComputeChunks(gb lattice.ID, nums []int) ([]*chunk.Chunk, Stats, error)
+	ComputeChunks(ctx context.Context, gb lattice.ID, nums []int) ([]*chunk.Chunk, Stats, error)
 	// EstimateScan returns the number of tuples ComputeChunks would scan
 	// for the request, without executing it. A cost-based middle tier (§5.2)
 	// compares it against VCMC's in-cache cost estimate.
-	EstimateScan(gb lattice.ID, nums []int) (int64, error)
+	EstimateScan(ctx context.Context, gb lattice.ID, nums []int) (int64, error)
 	// Close releases resources (network connections for remote backends).
 	Close() error
 }

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -148,7 +149,7 @@ func (e *Engine) Materialize(gbs ...lattice.ID) error {
 		if ok {
 			continue
 		}
-		chunks, _, err := e.ComputeChunks(gb, allChunks(e.grid, gb))
+		chunks, _, err := e.ComputeChunks(context.Background(), gb, allChunks(e.grid, gb))
 		if err != nil {
 			return fmt.Errorf("backend: materialize %s: %w", lat.LevelTupleString(gb), err)
 		}
@@ -240,7 +241,7 @@ func (e *Engine) ancestors(src, dst lattice.ID) [][]int32 {
 // ComputeChunks implements Backend. Each requested chunk's region is located
 // through the clustered index of the smallest applicable source and scanned
 // once; tuples aggregate directly into the target chunk's cell map.
-func (e *Engine) ComputeChunks(gb lattice.ID, nums []int) ([]*chunk.Chunk, Stats, error) {
+func (e *Engine) ComputeChunks(ctx context.Context, gb lattice.ID, nums []int) ([]*chunk.Chunk, Stats, error) {
 	start := time.Now()
 	g := e.grid
 	lat := g.Lattice()
@@ -254,6 +255,11 @@ func (e *Engine) ComputeChunks(gb lattice.ID, nums []int) ([]*chunk.Chunk, Stats
 	var sbuf []int
 	mapped := make([]int32, e.nd)
 	for _, num := range nums {
+		// One cancellation check per chunk keeps a long multi-chunk scan
+		// responsive to deadlines without per-tuple overhead.
+		if err := ctx.Err(); err != nil {
+			return nil, Stats{}, err
+		}
 		if num < 0 || num >= g.NumChunks(gb) {
 			return nil, Stats{}, fmt.Errorf("backend: chunk %d of group-by %s out of range", num, lat.LevelTupleString(gb))
 		}
@@ -284,16 +290,25 @@ func (e *Engine) ComputeChunks(gb lattice.ID, nums []int) ([]*chunk.Chunk, Stats
 	e.met.Wall.Observe(stats.Wall)
 	e.met.Sim.Observe(stats.Sim)
 	if e.latency.Sleep {
-		time.Sleep(stats.Sim)
+		t := time.NewTimer(stats.Sim)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, Stats{}, ctx.Err()
+		}
 	}
 	return out, stats, nil
 }
 
 // EstimateScan implements Backend: the tuples ComputeChunks would read,
 // resolved through the clustered index without scanning.
-func (e *Engine) EstimateScan(gb lattice.ID, nums []int) (int64, error) {
+func (e *Engine) EstimateScan(ctx context.Context, gb lattice.ID, nums []int) (int64, error) {
 	g := e.grid
 	lat := g.Lattice()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if int(gb) < 0 || int(gb) >= lat.NumNodes() {
 		return 0, fmt.Errorf("backend: group-by %d out of range", gb)
 	}
@@ -315,7 +330,7 @@ func (e *Engine) EstimateScan(gb lattice.ID, nums []int) (int64, error) {
 // ComputeGroupBy computes every chunk of a group-by; used for cache
 // preloading and for building exact size oracles.
 func (e *Engine) ComputeGroupBy(gb lattice.ID) ([]*chunk.Chunk, Stats, error) {
-	return e.ComputeChunks(gb, allChunks(e.grid, gb))
+	return e.ComputeChunks(context.Background(), gb, allChunks(e.grid, gb))
 }
 
 // Close implements Backend; the in-process engine has nothing to release.

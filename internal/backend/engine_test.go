@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -56,7 +57,7 @@ func TestEngineMatchesDirectAggregation(t *testing.T) {
 		for i := range nums {
 			nums[i] = i
 		}
-		chunks, stats, err := e.ComputeChunks(id, nums)
+		chunks, stats, err := e.ComputeChunks(context.Background(), id, nums)
 		if err != nil {
 			t.Fatalf("ComputeChunks(%s): %v", lat.LevelTupleString(id), err)
 		}
@@ -94,7 +95,7 @@ func TestEngineScanIsClusteredPerChunk(t *testing.T) {
 	base := lat.Base()
 	// Requesting a single base chunk must scan only its own rows, not the
 	// whole table — that is the point of the clustered index.
-	chunks, stats, err := e.ComputeChunks(base, []int{0})
+	chunks, stats, err := e.ComputeChunks(context.Background(), base, []int{0})
 	if err != nil {
 		t.Fatalf("ComputeChunks: %v", err)
 	}
@@ -105,7 +106,7 @@ func TestEngineScanIsClusteredPerChunk(t *testing.T) {
 		t.Fatalf("base chunk scan %d tuples but produced %d cells", stats.TuplesScanned, chunks[0].Cells())
 	}
 	// Requesting the top chunk scans everything exactly once.
-	_, stats, err = e.ComputeChunks(lat.Top(), []int{0})
+	_, stats, err = e.ComputeChunks(context.Background(), lat.Top(), []int{0})
 	if err != nil {
 		t.Fatalf("ComputeChunks(top): %v", err)
 	}
@@ -117,7 +118,7 @@ func TestEngineScanIsClusteredPerChunk(t *testing.T) {
 func TestEngineLatencyModel(t *testing.T) {
 	m := LatencyModel{Connect: time.Millisecond, PerTuple: time.Microsecond}
 	e, tab := tinyEngine(t, m)
-	_, stats, err := e.ComputeChunks(e.Grid().Lattice().Top(), []int{0})
+	_, stats, err := e.ComputeChunks(context.Background(), e.Grid().Lattice().Top(), []int{0})
 	if err != nil {
 		t.Fatalf("ComputeChunks: %v", err)
 	}
@@ -132,10 +133,10 @@ func TestEngineLatencyModel(t *testing.T) {
 
 func TestEngineErrors(t *testing.T) {
 	e, _ := tinyEngine(t, LatencyModel{})
-	if _, _, err := e.ComputeChunks(lattice.ID(9999), []int{0}); err == nil {
+	if _, _, err := e.ComputeChunks(context.Background(), lattice.ID(9999), []int{0}); err == nil {
 		t.Errorf("out-of-range group-by: expected error")
 	}
-	if _, _, err := e.ComputeChunks(e.Grid().Lattice().Top(), []int{5}); err == nil {
+	if _, _, err := e.ComputeChunks(context.Background(), e.Grid().Lattice().Top(), []int{5}); err == nil {
 		t.Errorf("out-of-range chunk: expected error")
 	}
 	if err := e.Close(); err != nil {

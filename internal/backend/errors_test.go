@@ -1,0 +1,39 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func TestErrorClassification(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		transient bool
+		outage    bool
+	}{
+		{"nil", nil, false, false},
+		{"marked transient", MarkTransient(errors.New("reset")), true, true},
+		{"wrapped mark", fmt.Errorf("send: %w", MarkTransient(errors.New("reset"))), true, true},
+		{"remote error", &RemoteError{Msg: "bad group-by"}, false, false},
+		{"transient remote error", MarkTransient(&RemoteError{Msg: "server timeout"}), true, true},
+		{"eof", io.EOF, true, true},
+		{"unexpected eof", io.ErrUnexpectedEOF, true, true},
+		{"canceled", context.Canceled, false, false},
+		{"deadline", context.DeadlineExceeded, false, true},
+		{"canceled wrapping mark", fmt.Errorf("%w: %w", context.Canceled, MarkTransient(errors.New("x"))), false, false},
+		{"unavailable", fmt.Errorf("circuit open: %w", ErrUnavailable), false, true},
+		{"plain", errors.New("bad input"), false, false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.transient {
+			t.Errorf("IsTransient(%s) = %v, want %v", c.name, got, c.transient)
+		}
+		if got := countsAsOutage(c.err); got != c.outage {
+			t.Errorf("countsAsOutage(%s) = %v, want %v", c.name, got, c.outage)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultyDeterministicStream(t *testing.T) {
+	plan := FaultPlan{Seed: 42, ErrorRate: 0.3, DisconnectRate: 0.2}
+	run := func() []bool {
+		f := NewFaulty(&stubBackend{}, plan)
+		outcomes := make([]bool, 50)
+		for i := range outcomes {
+			_, _, err := f.ComputeChunks(context.Background(), 0, []int{0})
+			outcomes[i] = err != nil
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs across identically seeded runs", i)
+		}
+	}
+	f := NewFaulty(&stubBackend{}, plan)
+	for i := 0; i < 50; i++ {
+		f.ComputeChunks(context.Background(), 0, []int{0})
+	}
+	c := f.Counts()
+	if c.Errors == 0 || c.Disconnects == 0 {
+		t.Fatalf("expected both fault kinds at these rates, got %+v", c)
+	}
+}
+
+func TestFaultyInjectedErrorsAreTransient(t *testing.T) {
+	f := NewFaulty(&stubBackend{}, FaultPlan{Seed: 1, ErrorRate: 1})
+	_, _, err := f.ComputeChunks(context.Background(), 0, []int{0})
+	if !IsTransient(err) {
+		t.Fatalf("injected error should be transient, got %v", err)
+	}
+}
+
+func TestFaultyDown(t *testing.T) {
+	stub := &stubBackend{}
+	f := NewFaulty(stub, FaultPlan{Seed: 1})
+	f.SetDown(true)
+	_, _, err := f.ComputeChunks(context.Background(), 0, []int{0})
+	if !IsTransient(err) {
+		t.Fatalf("outage error should be transient, got %v", err)
+	}
+	if stub.callCount() != 0 {
+		t.Fatalf("request reached a down backend")
+	}
+	if f.Counts().Outages != 1 {
+		t.Fatalf("outage not counted: %+v", f.Counts())
+	}
+	f.SetDown(false)
+	if _, _, err := f.ComputeChunks(context.Background(), 0, []int{0}); err != nil {
+		t.Fatalf("recovered backend: %v", err)
+	}
+}
+
+func TestFaultyHangHonorsContext(t *testing.T) {
+	f := NewFaulty(&stubBackend{}, FaultPlan{Seed: 1, HangRate: 1, HangFor: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := f.ComputeChunks(ctx, 0, []int{0})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang under deadline = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("hang ignored the context deadline")
+	}
+}

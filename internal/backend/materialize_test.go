@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"testing"
 
 	"aggcache/internal/lattice"
@@ -51,12 +52,12 @@ func TestMaterializeReducesScan(t *testing.T) {
 	e, tab := tinyEngine(t, LatencyModel{})
 	lat := e.Grid().Lattice()
 	mid := lat.MustID(0, 2, 1)
-	before, _, err := e.ComputeChunks(lat.Top(), []int{0})
+	before, _, err := e.ComputeChunks(context.Background(), lat.Top(), []int{0})
 	if err != nil {
 		t.Fatalf("before: %v", err)
 	}
 	_ = before
-	est0, err := e.EstimateScan(lat.Top(), []int{0})
+	est0, err := e.EstimateScan(context.Background(), lat.Top(), []int{0})
 	if err != nil {
 		t.Fatalf("EstimateScan: %v", err)
 	}
@@ -66,7 +67,7 @@ func TestMaterializeReducesScan(t *testing.T) {
 	if err := e.Materialize(mid); err != nil {
 		t.Fatalf("Materialize: %v", err)
 	}
-	est1, err := e.EstimateScan(lat.Top(), []int{0})
+	est1, err := e.EstimateScan(context.Background(), lat.Top(), []int{0})
 	if err != nil {
 		t.Fatalf("EstimateScan: %v", err)
 	}
@@ -74,7 +75,7 @@ func TestMaterializeReducesScan(t *testing.T) {
 		t.Fatalf("materialization did not reduce estimated scan: %d -> %d", est0, est1)
 	}
 	// The actual scan matches the estimate.
-	_, stats, err := e.ComputeChunks(lat.Top(), []int{0})
+	_, stats, err := e.ComputeChunks(context.Background(), lat.Top(), []int{0})
 	if err != nil {
 		t.Fatalf("ComputeChunks: %v", err)
 	}
@@ -82,7 +83,7 @@ func TestMaterializeReducesScan(t *testing.T) {
 		t.Fatalf("scanned %d, estimated %d", stats.TuplesScanned, est1)
 	}
 	// A group-by not computable from mid still scans the base.
-	est2, err := e.EstimateScan(lat.Base(), []int{0})
+	est2, err := e.EstimateScan(context.Background(), lat.Base(), []int{0})
 	if err != nil {
 		t.Fatalf("EstimateScan(base): %v", err)
 	}
@@ -106,10 +107,10 @@ func TestMaterializeIdempotentAndErrors(t *testing.T) {
 	if err := e.Materialize(lattice.ID(9999)); err == nil {
 		t.Fatalf("out-of-range materialize: expected error")
 	}
-	if _, err := e.EstimateScan(lattice.ID(9999), []int{0}); err == nil {
+	if _, err := e.EstimateScan(context.Background(), lattice.ID(9999), []int{0}); err == nil {
 		t.Fatalf("out-of-range estimate: expected error")
 	}
-	if _, err := e.EstimateScan(lat.Top(), []int{7}); err == nil {
+	if _, err := e.EstimateScan(context.Background(), lat.Top(), []int{7}); err == nil {
 		t.Fatalf("out-of-range chunk estimate: expected error")
 	}
 }
@@ -128,14 +129,14 @@ func TestRemoteEstimateScan(t *testing.T) {
 	}
 	defer remote.Close()
 	lat := e.Grid().Lattice()
-	est, err := remote.EstimateScan(lat.Top(), []int{0})
+	est, err := remote.EstimateScan(context.Background(), lat.Top(), []int{0})
 	if err != nil {
 		t.Fatalf("EstimateScan: %v", err)
 	}
 	if est != int64(tab.Len()) {
 		t.Fatalf("remote estimate %d, want %d", est, tab.Len())
 	}
-	if _, err := remote.EstimateScan(9999, []int{0}); err == nil {
+	if _, err := remote.EstimateScan(context.Background(), 9999, []int{0}); err == nil {
 		t.Fatalf("remote bad estimate: expected error")
 	}
 }

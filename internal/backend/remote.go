@@ -1,0 +1,262 @@
+package backend
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aggcache/internal/chunk"
+	"aggcache/internal/lattice"
+	"aggcache/internal/obs"
+)
+
+// RetryPolicy tunes the self-healing remote client: how many times one
+// request is tried, how the backoff between tries grows, and the wire
+// deadlines each try runs under.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request, including the
+	// first. At least 1.
+	MaxAttempts int
+	// BaseBackoff is the pause before the first retry; each further retry
+	// doubles it (with ±50% deterministic jitter) up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// DialTimeout bounds each (re)connect attempt.
+	DialTimeout time.Duration
+	// IOTimeout bounds one request/response exchange on the wire when the
+	// caller's context carries no earlier deadline.
+	IOTimeout time.Duration
+	// Seed drives the jitter; runs with the same seed back off identically.
+	Seed int64
+}
+
+// DefaultRetryPolicy is the client's out-of-the-box resilience policy.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 4,
+	BaseBackoff: 10 * time.Millisecond,
+	MaxBackoff:  640 * time.Millisecond,
+	DialTimeout: 2 * time.Second,
+	IOTimeout:   30 * time.Second,
+	Seed:        1,
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	if p.DialTimeout <= 0 {
+		p.DialTimeout = d.DialTimeout
+	}
+	if p.IOTimeout <= 0 {
+		p.IOTimeout = d.IOTimeout
+	}
+	return p
+}
+
+// backoff returns the pause before retry number retry (1-based), with ±50%
+// jitter so a burst of failing clients does not hammer a recovering server
+// in lockstep.
+func (r *Remote) backoff(retry int) time.Duration {
+	d := r.pol.BaseBackoff << (retry - 1)
+	if d > r.pol.MaxBackoff || d <= 0 {
+		d = r.pol.MaxBackoff
+	}
+	r.rngMu.Lock()
+	f := 0.5 + r.rng.Float64()
+	r.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// Remote is a Backend talking to a Server over TCP. It is safe for
+// concurrent use; requests are serialized over one connection. The client is
+// self-healing: a broken connection is torn down and transparently re-dialed
+// instead of poisoning the gob stream, and transient failures are retried
+// with capped exponential backoff + jitter up to the policy's attempt
+// budget, after which the error wraps ErrUnavailable.
+type Remote struct {
+	addr string
+	pol  RetryPolicy
+	met  obs.RemoteMetrics
+
+	closed atomic.Bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+}
+
+// Dial connects to a backend server with DefaultRetryPolicy.
+func Dial(addr string) (*Remote, error) {
+	return DialPolicy(addr, DefaultRetryPolicy)
+}
+
+// DialPolicy connects to a backend server with an explicit retry policy.
+// The initial connection is established eagerly so configuration errors
+// fail fast.
+func DialPolicy(addr string, pol RetryPolicy) (*Remote, error) {
+	pol = pol.withDefaults()
+	r := &Remote{addr: addr, pol: pol, rng: rand.New(rand.NewSource(pol.Seed))}
+	r.mu.Lock()
+	err := r.redialLocked(context.Background())
+	r.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("backend: dial %s: %w", addr, err)
+	}
+	return r, nil
+}
+
+// SetMetrics attaches live observability metrics. Call it before the first
+// request; it is not synchronized with requests in flight.
+func (r *Remote) SetMetrics(m obs.RemoteMetrics) { r.met = m }
+
+// redialLocked replaces the connection. The caller must hold r.mu.
+func (r *Remote) redialLocked(ctx context.Context) error {
+	d := net.Dialer{Timeout: r.pol.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", r.addr)
+	if err != nil {
+		return MarkTransient(err)
+	}
+	r.conn = conn
+	r.dec = gob.NewDecoder(conn)
+	r.enc = gob.NewEncoder(conn)
+	return nil
+}
+
+// teardownLocked drops a connection whose gob stream can no longer be
+// trusted. The caller must hold r.mu.
+func (r *Remote) teardownLocked() {
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+		r.dec, r.enc = nil, nil
+	}
+}
+
+// attempt performs one request/response exchange, redialing first if the
+// previous attempt tore the connection down. Any wire failure invalidates
+// the stream, so the connection is dropped before returning the error.
+func (r *Remote) attempt(ctx context.Context, req *request) (*response, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed.Load() {
+		return nil, errors.New("backend: remote is closed")
+	}
+	if r.conn == nil {
+		r.met.Redials.Inc()
+		if err := r.redialLocked(ctx); err != nil {
+			return nil, err
+		}
+	}
+	deadline := time.Now().Add(r.pol.IOTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	r.conn.SetDeadline(deadline)
+	if err := r.enc.Encode(req); err != nil {
+		r.teardownLocked()
+		return nil, fmt.Errorf("backend: send: %w", err)
+	}
+	var resp response
+	if err := r.dec.Decode(&resp); err != nil {
+		r.teardownLocked()
+		return nil, fmt.Errorf("backend: receive: %w", err)
+	}
+	return &resp, nil
+}
+
+// roundTrip sends one request, retrying transient failures per the policy.
+func (r *Remote) roundTrip(ctx context.Context, req *request) (*response, error) {
+	r.met.Requests.Inc()
+	var lastErr error
+	for try := 0; try < r.pol.MaxAttempts; try++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if try > 0 {
+			r.met.Retries.Inc()
+			t := time.NewTimer(r.backoff(try))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+		}
+		resp, err := r.attempt(ctx, req)
+		if err == nil {
+			if resp.Err == "" {
+				return resp, nil
+			}
+			rerr := &RemoteError{Msg: resp.Err}
+			if !resp.Transient {
+				return nil, rerr // deterministic per-request failure
+			}
+			err = MarkTransient(rerr)
+		}
+		// The caller's context expiring dominates any wire classification:
+		// the I/O deadline that fired may have been the context's own.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		if !IsTransient(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	r.met.Unavailable.Inc()
+	return nil, fmt.Errorf("backend: %s unreachable after %d attempts (%v): %w",
+		r.addr, r.pol.MaxAttempts, lastErr, ErrUnavailable)
+}
+
+// ComputeChunks implements Backend over the wire.
+func (r *Remote) ComputeChunks(ctx context.Context, gb lattice.ID, nums []int) ([]*chunk.Chunk, Stats, error) {
+	resp, err := r.roundTrip(ctx, &request{GB: gb, Nums: nums})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return resp.Chunks, resp.Stats, nil
+}
+
+// EstimateScan implements Backend over the wire.
+func (r *Remote) EstimateScan(ctx context.Context, gb lattice.ID, nums []int) (int64, error) {
+	resp, err := r.roundTrip(ctx, &request{GB: gb, Nums: nums, EstimateOnly: true})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Estimate, nil
+}
+
+// Close implements Backend. In-flight retry loops observe the flag on their
+// next attempt and stop.
+func (r *Remote) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var err error
+	if r.conn != nil {
+		err = r.conn.Close()
+		r.conn = nil
+		r.dec, r.enc = nil, nil
+	}
+	return err
+}

@@ -1,0 +1,209 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// quickPolicy keeps resilience tests fast: small backoffs, few attempts.
+func quickPolicy(attempts int) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: attempts,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  8 * time.Millisecond,
+		DialTimeout: time.Second,
+		IOTimeout:   2 * time.Second,
+		Seed:        7,
+	}
+}
+
+func TestRemoteRedialsAfterServerRestart(t *testing.T) {
+	e, _ := tinyEngine(t, LatencyModel{})
+	srv := NewServer(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	remote, err := DialPolicy(addr, quickPolicy(8))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer remote.Close()
+
+	lat := e.Grid().Lattice()
+	if _, _, err := remote.ComputeChunks(context.Background(), lat.Top(), []int{0}); err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+
+	// Kill the server out from under the client, restart on the same
+	// address, and require the next request to heal transparently.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+	srv2 := NewServer(e)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("relisten on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	got, _, err := remote.ComputeChunks(context.Background(), lat.Top(), []int{0})
+	if err != nil {
+		t.Fatalf("request across restart: %v", err)
+	}
+	if len(got) != 1 || got[0].Cells() == 0 {
+		t.Fatalf("bad chunks across restart: %v", got)
+	}
+}
+
+func TestRemoteExhaustsRetriesToUnavailable(t *testing.T) {
+	e, _ := tinyEngine(t, LatencyModel{})
+	srv := NewServer(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	remote, err := DialPolicy(addr, quickPolicy(3))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer remote.Close()
+	srv.Close() // nothing listening any more
+
+	start := time.Now()
+	_, _, err = remote.ComputeChunks(context.Background(), e.Grid().Lattice().Top(), []int{0})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("dead backend error = %v, want ErrUnavailable", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("retry budget took %v, policy should bound it tightly", elapsed)
+	}
+}
+
+func TestRemotePermanentErrorNotRetried(t *testing.T) {
+	e, _ := tinyEngine(t, LatencyModel{})
+	srv := NewServer(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+	remote, err := DialPolicy(addr, quickPolicy(5))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer remote.Close()
+
+	_, _, err = remote.ComputeChunks(context.Background(), 9999, []int{0})
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("bad-request error = %v, want RemoteError", err)
+	}
+	if errors.Is(err, ErrUnavailable) {
+		t.Fatalf("deterministic rejection misclassified as unavailability")
+	}
+}
+
+func TestRemoteHonorsContextDeadline(t *testing.T) {
+	// A listener that accepts and then never replies: the client's exchange
+	// must end when the caller's deadline passes, not after IOTimeout.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+
+	remote, err := DialPolicy(ln.Addr().String(), quickPolicy(4))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer remote.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err = remote.ComputeChunks(ctx, 0, []int{0})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hung server error = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+}
+
+func TestServerSurvivesMalformedFrame(t *testing.T) {
+	e, _ := tinyEngine(t, LatencyModel{})
+	srv := NewServer(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	// A raw connection spewing garbage: the server must close it cleanly…
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("raw dial: %v", err)
+	}
+	// A complete gob frame (length prefix 3) whose payload is garbage, so
+	// the decoder fails immediately instead of waiting for more bytes.
+	raw.Write([]byte("\x03\xff\xfe\xfd"))
+	buf := make([]byte, 64)
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatalf("server answered a garbage frame instead of closing")
+	}
+	raw.Close()
+
+	// …while healthy clients keep working.
+	remote, err := DialPolicy(addr, quickPolicy(3))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer remote.Close()
+	if _, _, err := remote.ComputeChunks(context.Background(), e.Grid().Lattice().Top(), []int{0}); err != nil {
+		t.Fatalf("healthy client after garbage frame: %v", err)
+	}
+}
+
+func TestServerRequestTimeoutRepliesTransient(t *testing.T) {
+	// Simulated latency far above the server's per-request budget: the
+	// server must reply an in-band transient error (and keep the connection)
+	// rather than hang or tear down.
+	e, _ := tinyEngine(t, LatencyModel{Connect: time.Second, Sleep: true})
+	srv := NewServer(e)
+	srv.SetTimeouts(Timeouts{Request: 20 * time.Millisecond, Write: time.Minute})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	remote, err := DialPolicy(addr, RetryPolicy{
+		MaxAttempts: 1, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond,
+		DialTimeout: time.Second, IOTimeout: 10 * time.Second, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer remote.Close()
+
+	_, _, err = remote.ComputeChunks(context.Background(), e.Grid().Lattice().Top(), []int{0})
+	if err == nil {
+		t.Fatalf("expected a server-side timeout error")
+	}
+	if !IsTransient(err) && !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("server timeout should classify as retryable/outage, got %v", err)
+	}
+}

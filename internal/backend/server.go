@@ -1,15 +1,18 @@
 package backend
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"aggcache/internal/chunk"
 	"aggcache/internal/lattice"
+	"aggcache/internal/obs"
 )
 
 // request is one wire-protocol request: compute (or, with EstimateOnly,
@@ -20,19 +23,44 @@ type request struct {
 	EstimateOnly bool
 }
 
-// response carries the computed chunks back. Err is non-empty on failure.
+// response carries the computed chunks back. Err is non-empty on failure;
+// Transient marks the failure as retryable (the engine did not answer — a
+// server-side timeout or panic), as opposed to a deterministic per-request
+// rejection the client must not retry.
 type response struct {
-	Chunks   []*chunk.Chunk
-	Stats    Stats
-	Estimate int64
-	Err      string
+	Chunks    []*chunk.Chunk
+	Stats     Stats
+	Estimate  int64
+	Err       string
+	Transient bool
 }
+
+// Timeouts bounds the server side of the wire protocol so a stuck peer or a
+// runaway request can never wedge a serving goroutine forever.
+type Timeouts struct {
+	// Read bounds the wait for the next request frame; connections idle
+	// longer are closed. 0 means no limit (middle tiers legitimately keep
+	// idle persistent connections).
+	Read time.Duration
+	// Write bounds encoding one response to a slow or stuck client.
+	Write time.Duration
+	// Request bounds the engine computation for one request; the reply is a
+	// transient error rather than a torn-down connection. 0 means no limit.
+	Request time.Duration
+}
+
+// DefaultTimeouts is the server's out-of-the-box deadline policy.
+var DefaultTimeouts = Timeouts{Write: time.Minute}
 
 // Server exposes an Engine over a TCP listener with a gob protocol: each
 // connection carries a stream of request/response pairs. It stands in for
-// the paper's remote commercial DBMS tier.
+// the paper's remote commercial DBMS tier. Per-request engine errors are
+// replied in-band; only wire-level failures (a malformed gob frame loses
+// the stream framing and cannot be resynchronized) close the connection.
 type Server struct {
 	engine *Engine
+	tmo    Timeouts
+	met    obs.BackendMetrics
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -41,10 +69,19 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// NewServer wraps an engine for serving.
+// NewServer wraps an engine for serving with DefaultTimeouts.
 func NewServer(e *Engine) *Server {
-	return &Server{engine: e, conns: make(map[net.Conn]struct{})}
+	return &Server{engine: e, tmo: DefaultTimeouts, conns: make(map[net.Conn]struct{})}
 }
+
+// SetTimeouts replaces the deadline policy. Call it before Listen; it is not
+// synchronized with connections in flight.
+func (s *Server) SetTimeouts(t Timeouts) { s.tmo = t }
+
+// SetMetrics attaches live observability metrics (the server records the
+// wire-level counters; attach the same bundle to the engine for the compute
+// counters). Call it before Listen.
+func (s *Server) SetMetrics(m obs.BackendMetrics) { s.met = m }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
 // returns the bound address. Serving happens on background goroutines until
@@ -93,28 +130,58 @@ func (s *Server) serveConn(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		if s.tmo.Read > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.tmo.Read))
+		}
 		var req request
 		if err := dec.Decode(&req); err != nil {
-			return // EOF or broken connection
-		}
-		var resp response
-		if req.EstimateOnly {
-			est, err := s.engine.EstimateScan(req.GB, req.Nums)
-			resp = response{Estimate: est}
-			if err != nil {
-				resp = response{Err: err.Error()}
+			// EOF is the client's clean goodbye; anything else — a garbage
+			// frame, a reset, an idle timeout — still just closes this one
+			// connection, counted so it is visible on /metrics.
+			if !errors.Is(err, io.EOF) {
+				s.met.WireErrors.Inc()
 			}
-		} else {
-			chunks, stats, err := s.engine.ComputeChunks(req.GB, req.Nums)
-			resp = response{Chunks: chunks, Stats: stats}
-			if err != nil {
-				resp = response{Err: err.Error()}
-			}
+			return
 		}
-		if err := enc.Encode(&resp); err != nil {
+		resp := s.handle(&req)
+		if s.tmo.Write > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.tmo.Write))
+		}
+		if err := enc.Encode(resp); err != nil {
+			s.met.WireErrors.Inc()
 			return
 		}
 	}
+}
+
+// handle serves one decoded request, converting engine errors — and panics —
+// into in-band error responses so one bad request never tears down the
+// connection under its neighbors.
+func (s *Server) handle(req *request) (resp *response) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.met.Panics.Inc()
+			resp = &response{Err: fmt.Sprintf("panic serving request: %v", p), Transient: true}
+		}
+	}()
+	ctx := context.Background()
+	if s.tmo.Request > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.tmo.Request)
+		defer cancel()
+	}
+	if req.EstimateOnly {
+		est, err := s.engine.EstimateScan(ctx, req.GB, req.Nums)
+		if err != nil {
+			return &response{Err: err.Error(), Transient: countsAsOutage(err)}
+		}
+		return &response{Estimate: est}
+	}
+	chunks, stats, err := s.engine.ComputeChunks(ctx, req.GB, req.Nums)
+	if err != nil {
+		return &response{Err: err.Error(), Transient: countsAsOutage(err)}
+	}
+	return &response{Chunks: chunks, Stats: stats}
 }
 
 // Close stops the listener and closes active connections.
@@ -131,76 +198,5 @@ func (s *Server) Close() error {
 		err = ln.Close()
 	}
 	s.wg.Wait()
-	return err
-}
-
-// Remote is a Backend talking to a Server over TCP. It is safe for
-// concurrent use; requests are serialized over one connection.
-type Remote struct {
-	mu   sync.Mutex
-	conn net.Conn
-	dec  *gob.Decoder
-	enc  *gob.Encoder
-}
-
-// Dial connects to a backend server.
-func Dial(addr string) (*Remote, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("backend: dial %s: %w", addr, err)
-	}
-	return &Remote{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}, nil
-}
-
-// roundTrip sends one request and decodes its response.
-func (r *Remote) roundTrip(req *request) (*response, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.conn == nil {
-		return nil, errors.New("backend: remote is closed")
-	}
-	if err := r.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("backend: send: %w", err)
-	}
-	var resp response
-	if err := r.dec.Decode(&resp); err != nil {
-		if errors.Is(err, io.EOF) {
-			err = errors.New("server closed the connection")
-		}
-		return nil, fmt.Errorf("backend: receive: %w", err)
-	}
-	if resp.Err != "" {
-		return nil, fmt.Errorf("backend: remote: %s", resp.Err)
-	}
-	return &resp, nil
-}
-
-// ComputeChunks implements Backend over the wire.
-func (r *Remote) ComputeChunks(gb lattice.ID, nums []int) ([]*chunk.Chunk, Stats, error) {
-	resp, err := r.roundTrip(&request{GB: gb, Nums: nums})
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	return resp.Chunks, resp.Stats, nil
-}
-
-// EstimateScan implements Backend over the wire.
-func (r *Remote) EstimateScan(gb lattice.ID, nums []int) (int64, error) {
-	resp, err := r.roundTrip(&request{GB: gb, Nums: nums, EstimateOnly: true})
-	if err != nil {
-		return 0, err
-	}
-	return resp.Estimate, nil
-}
-
-// Close implements Backend.
-func (r *Remote) Close() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.conn == nil {
-		return nil
-	}
-	err := r.conn.Close()
-	r.conn = nil
 	return err
 }

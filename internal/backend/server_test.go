@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -21,11 +22,11 @@ func TestServerRoundTrip(t *testing.T) {
 	defer remote.Close()
 
 	lat := e.Grid().Lattice()
-	wantChunks, wantStats, err := e.ComputeChunks(lat.Top(), []int{0})
+	wantChunks, wantStats, err := e.ComputeChunks(context.Background(), lat.Top(), []int{0})
 	if err != nil {
 		t.Fatalf("local compute: %v", err)
 	}
-	gotChunks, gotStats, err := remote.ComputeChunks(lat.Top(), []int{0})
+	gotChunks, gotStats, err := remote.ComputeChunks(context.Background(), lat.Top(), []int{0})
 	if err != nil {
 		t.Fatalf("remote compute: %v", err)
 	}
@@ -63,7 +64,7 @@ func TestServerPipelinesRequests(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _, err := remote.ComputeChunks(lat.Top(), []int{0})
+			_, _, err := remote.ComputeChunks(context.Background(), lat.Top(), []int{0})
 			if err != nil {
 				errs <- err
 			}
@@ -91,11 +92,11 @@ func TestServerRemoteError(t *testing.T) {
 	}
 	defer remote.Close()
 
-	if _, _, err := remote.ComputeChunks(9999, []int{0}); err == nil {
+	if _, _, err := remote.ComputeChunks(context.Background(), 9999, []int{0}); err == nil {
 		t.Fatalf("expected remote error for bad group-by")
 	}
 	// The connection survives an application-level error.
-	if _, _, err := remote.ComputeChunks(e.Grid().Lattice().Top(), []int{0}); err != nil {
+	if _, _, err := remote.ComputeChunks(context.Background(), e.Grid().Lattice().Top(), []int{0}); err != nil {
 		t.Fatalf("connection did not survive error: %v", err)
 	}
 }
@@ -118,7 +119,7 @@ func TestRemoteClosed(t *testing.T) {
 	if err := remote.Close(); err != nil {
 		t.Fatalf("double Close: %v", err)
 	}
-	if _, _, err := remote.ComputeChunks(0, []int{0}); err == nil {
+	if _, _, err := remote.ComputeChunks(context.Background(), 0, []int{0}); err == nil {
 		t.Fatalf("expected error after Close")
 	}
 }

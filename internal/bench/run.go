@@ -74,6 +74,7 @@ var experiments = []struct {
 	{"lemma2", one(Lemma2)},
 	{"concurrency", one(ConcurrencySweep)},
 	{"observability", one(Observability)},
+	{"chaos", one(Chaos)},
 }
 
 // aliases maps alternative ids (artifacts that share a runner) to canonical

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -31,7 +32,7 @@ func UnitAggBenefit(e *Env) (*Report, error) {
 		if id == lat.Base() {
 			continue // the base chunk cannot be aggregated from anything
 		}
-		_, bstats, err := e.Backend.ComputeChunks(id, []int{0})
+		_, bstats, err := e.Backend.ComputeChunks(context.Background(), id, []int{0})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,255 @@
+// Chaos and degraded-mode tests: the fault-tolerant backend path under
+// injected errors, disconnects, hangs and a full outage. Lives in the
+// external test package for the same reason as the concurrent soak.
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aggcache/internal/apb"
+	"aggcache/internal/backend"
+	"aggcache/internal/cache"
+	"aggcache/internal/chunk"
+	"aggcache/internal/core"
+	"aggcache/internal/sizer"
+	"aggcache/internal/strategy"
+	"aggcache/internal/workload"
+)
+
+// buildChaosEngines wires a subject engine whose backend path is
+// Breaker(Faulty(engine)) and a serialized reference engine over the plain
+// backend, sharing one grid and dataset.
+func buildChaosEngines(t *testing.T, plan backend.FaultPlan, bcfg backend.BreakerConfig, capacity int64) (subject, reference *core.Engine, faulty *backend.Faulty, breaker *backend.Breaker, g *chunk.Grid) {
+	t.Helper()
+	cfg := apb.New(apb.ScaleTiny)
+	g, tab, err := cfg.Build(33)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	be, err := backend.NewEngine(g, tab, backend.LatencyModel{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	sz := sizer.NewEstimate(g, int64(tab.Len()))
+	mk := func(b backend.Backend) *core.Engine {
+		c, err := cache.New(capacity, cache.NewTwoLevel())
+		if err != nil {
+			t.Fatalf("cache.New: %v", err)
+		}
+		eng, err := core.New(g, c, strategy.NewVCMC(g, sz), b, sz, core.Options{})
+		if err != nil {
+			t.Fatalf("core.New: %v", err)
+		}
+		return eng
+	}
+	faulty = backend.NewFaulty(be, plan)
+	breaker = backend.NewBreaker(faulty, bcfg)
+	return mk(breaker), mk(be), faulty, breaker, g
+}
+
+// TestChaosSoak replays a workload stream concurrently against an engine
+// whose backend randomly errors, disconnects and hangs — with a hard outage
+// pulsed in the middle — and requires every answered query to match the
+// serialized fault-free reference and every failure to be a typed,
+// classifiable error. Run under -race this is the robustness soak: wrong
+// answers and deadlocks are the two forbidden outcomes.
+func TestChaosSoak(t *testing.T) {
+	plan := backend.FaultPlan{
+		Seed:           99,
+		ErrorRate:      0.15,
+		DisconnectRate: 0.1,
+		HangRate:       0.08,
+		HangFor:        30 * time.Millisecond,
+		SpikeRate:      0.05,
+		SpikeFor:       2 * time.Millisecond,
+	}
+	bcfg := backend.BreakerConfig{FailureThreshold: 5, Cooldown: 40 * time.Millisecond}
+	// A small cache keeps the backend in play: chaos is pointless if every
+	// query is a complete hit.
+	subject, reference, faulty, _, g := buildChaosEngines(t, plan, bcfg, 8<<10)
+
+	gen, err := workload.NewGenerator(g, workload.DefaultMix, 4, 7)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	queries, _ := gen.Stream(300)
+
+	type answer struct {
+		total float64
+		cells int
+	}
+	want := make([]answer, len(queries))
+	for i, q := range queries {
+		res, err := reference.Execute(q)
+		if err != nil {
+			t.Fatalf("reference query %d: %v", i, err)
+		}
+		want[i] = answer{total: res.Total(), cells: res.Cells()}
+	}
+
+	// Pulse a hard outage over the middle third of the stream, keyed off a
+	// shared progress counter so the phase shifts are workload-driven, not
+	// timing-driven.
+	var progress atomic.Int64
+	third := int64(len(queries) / 3)
+
+	const workers = 8
+	var ok, failed atomic.Int64
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(queries); i += workers {
+				done := progress.Add(1)
+				if done == third {
+					faulty.SetDown(true)
+				}
+				if done == 2*third {
+					faulty.SetDown(false)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				res, err := subject.ExecuteContext(ctx, queries[i])
+				cancel()
+				if err != nil {
+					// Failure is acceptable under chaos, but only as a
+					// classified error: an availability fast-fail, a deadline,
+					// or a transient wire-shaped fault.
+					if !errors.Is(err, core.ErrBackendUnavailable) &&
+						!errors.Is(err, context.DeadlineExceeded) &&
+						!backend.IsTransient(err) {
+						errs <- fmt.Errorf("query %d: unclassified error %v", i, err)
+						return
+					}
+					failed.Add(1)
+					continue
+				}
+				if res.Cells() != want[i].cells {
+					errs <- fmt.Errorf("query %d: %d cells, want %d", i, res.Cells(), want[i].cells)
+					return
+				}
+				tol := 1e-6 * math.Max(1, math.Abs(want[i].total))
+				if math.Abs(res.Total()-want[i].total) > tol {
+					errs <- fmt.Errorf("query %d: total %v, want %v", i, res.Total(), want[i].total)
+					return
+				}
+				ok.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("chaos soak: %v", err)
+	}
+
+	if ok.Load() == 0 {
+		t.Fatalf("no query succeeded under chaos")
+	}
+	counts := faulty.Counts()
+	if counts.Errors+counts.Disconnects+counts.Hangs+counts.Outages == 0 {
+		t.Fatalf("chaos plan injected nothing: %+v", counts)
+	}
+	t.Logf("chaos soak: %d ok, %d failed, faults %+v, subject stats %+v",
+		ok.Load(), failed.Load(), counts, subject.Stats())
+}
+
+// TestDegradedModeCacheOnly pins down the availability contract: with the
+// backend hard-down and the breaker open, every cache-computable query still
+// answers (marked Degraded), every backend-requiring query fails fast with
+// ErrBackendUnavailable, and recovery closes the breaker via a half-open
+// probe.
+func TestDegradedModeCacheOnly(t *testing.T) {
+	bcfg := backend.BreakerConfig{FailureThreshold: 3, Cooldown: 30 * time.Millisecond}
+	subject, reference, faulty, breaker, g := buildChaosEngines(t, backend.FaultPlan{Seed: 1}, bcfg, 1<<20)
+	lat := g.Lattice()
+
+	// Warm the cache with the top group-by, answerable thereafter without
+	// the backend.
+	warm := core.WholeGroupBy(lat.Top())
+	if _, err := subject.Execute(warm); err != nil {
+		t.Fatalf("warm query: %v", err)
+	}
+	if subject.Degraded() {
+		t.Fatalf("engine degraded while backend healthy")
+	}
+
+	// Hard outage: trip the breaker with backend-requiring queries.
+	faulty.SetDown(true)
+	miss := core.WholeGroupBy(lat.Base())
+	for i := 0; i < bcfg.FailureThreshold; i++ {
+		if _, err := subject.Execute(miss); err == nil {
+			t.Fatalf("query against down backend succeeded")
+		}
+	}
+	if breaker.State() != backend.BreakerOpen {
+		t.Fatalf("breaker state %v after %d failures, want open", breaker.State(), bcfg.FailureThreshold)
+	}
+	if !subject.Degraded() {
+		t.Fatalf("engine not degraded with breaker open")
+	}
+
+	// Cache-computable queries all still succeed, marked degraded, correct.
+	wantRes, err := reference.Execute(warm)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		res, err := subject.Execute(warm)
+		if err != nil {
+			t.Fatalf("degraded cached query %d: %v", i, err)
+		}
+		if !res.CompleteHit || !res.Degraded {
+			t.Fatalf("degraded cached query %d: CompleteHit=%v Degraded=%v", i, res.CompleteHit, res.Degraded)
+		}
+		if res.Cells() != wantRes.Cells() || math.Abs(res.Total()-wantRes.Total()) > 1e-6*math.Max(1, math.Abs(wantRes.Total())) {
+			t.Fatalf("degraded answer diverged from reference")
+		}
+	}
+	if subject.Stats().DegradedHits < 10 {
+		t.Fatalf("DegradedHits = %d, want >= 10", subject.Stats().DegradedHits)
+	}
+
+	// Backend-requiring queries fail fast with the typed error — well under
+	// the acceptance bound of 2× a 1s query timeout.
+	const timeout = time.Second
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	_, err = subject.ExecuteContext(ctx, miss)
+	cancel()
+	if !errors.Is(err, core.ErrBackendUnavailable) {
+		t.Fatalf("backend-requiring query error = %v, want ErrBackendUnavailable", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*timeout {
+		t.Fatalf("fail-fast took %v, want < %v", elapsed, 2*timeout)
+	}
+	if subject.Stats().Unavailable == 0 {
+		t.Fatalf("Unavailable stat not counted")
+	}
+
+	// Recovery: backend comes back, cooldown elapses, the next request is
+	// the half-open probe and closes the breaker.
+	faulty.SetDown(false)
+	time.Sleep(bcfg.Cooldown + 10*time.Millisecond)
+	res, err := subject.Execute(miss)
+	if err != nil {
+		t.Fatalf("query after recovery: %v", err)
+	}
+	if res.Degraded {
+		t.Fatalf("recovered answer still marked degraded")
+	}
+	if breaker.State() != backend.BreakerClosed {
+		t.Fatalf("breaker state %v after successful probe, want closed", breaker.State())
+	}
+	if subject.Degraded() {
+		t.Fatalf("engine still degraded after recovery")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -23,7 +24,7 @@ func TestPinFallbackTreatsChunkAsMiss(t *testing.T) {
 	f := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
 	lat := f.grid.Lattice()
 	top := lat.Top()
-	payload, _, err := f.oracle.ComputeChunks(top, []int{0})
+	payload, _, err := f.oracle.ComputeChunks(context.Background(), top, []int{0})
 	if err != nil {
 		t.Fatalf("oracle: %v", err)
 	}
@@ -50,11 +51,11 @@ type gatedBackend struct {
 	once    sync.Once
 }
 
-func (g *gatedBackend) ComputeChunks(gb lattice.ID, nums []int) ([]*chunk.Chunk, backend.Stats, error) {
+func (g *gatedBackend) ComputeChunks(ctx context.Context, gb lattice.ID, nums []int) ([]*chunk.Chunk, backend.Stats, error) {
 	g.calls.Add(1)
 	g.once.Do(func() { close(g.started) })
 	<-g.release
-	return g.Backend.ComputeChunks(gb, nums)
+	return g.Backend.ComputeChunks(ctx, gb, nums)
 }
 
 // TestSingleflightDedupesIdenticalFetches checks that a burst of identical

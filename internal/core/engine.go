@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -53,6 +54,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// ErrBackendUnavailable is the typed error a query fails fast with when it
+// needs the backend but the backend is unreachable — the circuit breaker is
+// open, or the remote client exhausted its redial/retry budget. Queries
+// answerable from the cache alone (complete hits and in-cache aggregation)
+// still succeed in that state: the engine's cache-only degraded mode.
+// Match with errors.Is.
+var ErrBackendUnavailable = backend.ErrUnavailable
+
 // Stats accumulates engine activity across queries.
 type Stats struct {
 	Queries        int64
@@ -62,7 +71,12 @@ type Stats struct {
 	AggTuples      int64
 	BudgetMisses   int64
 	Bypassed       int64
-	Breakdown      metrics.Breakdown
+	// DegradedHits counts queries answered from the cache alone while the
+	// backend circuit breaker was not closed.
+	DegradedHits int64
+	// Unavailable counts queries that failed with ErrBackendUnavailable.
+	Unavailable int64
+	Breakdown   metrics.Breakdown
 }
 
 // engineStats is the engine's internal, atomically updated counterpart of
@@ -75,6 +89,8 @@ type engineStats struct {
 	aggTuples      atomic.Int64
 	budgetMisses   atomic.Int64
 	bypassed       atomic.Int64
+	degradedHits   atomic.Int64
+	unavailable    atomic.Int64
 
 	lookupNS  atomic.Int64
 	aggNS     atomic.Int64
@@ -91,6 +107,8 @@ func (s *engineStats) snapshot() Stats {
 		AggTuples:      s.aggTuples.Load(),
 		BudgetMisses:   s.budgetMisses.Load(),
 		Bypassed:       s.bypassed.Load(),
+		DegradedHits:   s.degradedHits.Load(),
+		Unavailable:    s.unavailable.Load(),
 		Breakdown: metrics.Breakdown{
 			Lookup:    time.Duration(s.lookupNS.Load()),
 			Aggregate: time.Duration(s.aggNS.Load()),
@@ -127,6 +145,10 @@ type Engine struct {
 	// nothing. All handles are atomics, so recording needs no lock and an
 	// ops scraper can read concurrently with queries in flight.
 	met obs.EngineMetrics
+	// avail reports the backend circuit breaker's state when the backend
+	// (or a wrapper in its chain) carries one; nil otherwise. Used for
+	// degraded-mode accounting and health reporting.
+	avail interface{ State() backend.BreakerState }
 }
 
 // New wires a cache, a lookup strategy and a backend into an engine. The
@@ -137,7 +159,7 @@ func New(g *chunk.Grid, c *cache.Cache, s strategy.Strategy, b backend.Backend, 
 		return nil, errors.New("core: all of grid, cache, strategy, backend and sizer are required")
 	}
 	c.SetListener(s)
-	return &Engine{
+	e := &Engine{
 		grid:    g,
 		lat:     g.Lattice(),
 		cache:   c,
@@ -146,7 +168,11 @@ func New(g *chunk.Grid, c *cache.Cache, s strategy.Strategy, b backend.Backend, 
 		sizes:   sizes,
 		opts:    opts.withDefaults(),
 		flights: flightGroup{m: make(map[flightKey]*flightCall)},
-	}, nil
+	}
+	if a, ok := b.(interface{ State() backend.BreakerState }); ok {
+		e.avail = a
+	}
+	return e, nil
 }
 
 // Grid returns the engine's chunk grid.
@@ -164,6 +190,14 @@ func (e *Engine) Stats() Stats { return e.stats.snapshot() }
 // SetMetrics attaches live observability metrics. Call it after New and
 // before the first Execute; it is not synchronized with queries in flight.
 func (e *Engine) SetMetrics(m obs.EngineMetrics) { e.met = m }
+
+// Degraded reports whether the engine is in cache-only degraded mode: its
+// backend carries a circuit breaker and the breaker is not closed. In that
+// state cache-computable queries still succeed and backend-requiring
+// queries fail fast with ErrBackendUnavailable.
+func (e *Engine) Degraded() bool {
+	return e.avail != nil && e.avail.State() != backend.BreakerClosed
+}
 
 // planned is one chunk of the query answerable from the cache, with the
 // pinned cache keys of its plan's leaves.
@@ -194,15 +228,31 @@ type aggOut struct {
 // the answer. Concurrent calls overlap; see the Engine doc for the locking
 // structure.
 func (e *Engine) Execute(q Query) (*Result, error) {
-	res, err := e.execute(q)
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute with a caller-supplied context: the backend
+// phase (and follower waits on shared flights) aborts promptly when the
+// context is cancelled or its deadline passes, so a hung backend hangs no
+// query past its budget. Cache-only work is not interrupted — it completes
+// in microseconds and an answer already paid for is worth returning.
+func (e *Engine) ExecuteContext(ctx context.Context, q Query) (*Result, error) {
+	res, err := e.execute(ctx, q)
 	if err != nil {
 		e.met.QueryErrors.Inc()
+		switch {
+		case errors.Is(err, ErrBackendUnavailable):
+			e.stats.unavailable.Add(1)
+			e.met.BackendUnavailable.Inc()
+		case errors.Is(err, context.DeadlineExceeded):
+			e.met.DeadlineExceeded.Inc()
+		}
 	}
 	return res, err
 }
 
-// execute is Execute without the error accounting wrapper.
-func (e *Engine) execute(q Query) (*Result, error) {
+// execute is ExecuteContext without the error accounting wrapper.
+func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 	nq, err := q.normalize(e.grid)
 	if err != nil {
 		return nil, err
@@ -281,7 +331,7 @@ func (e *Engine) execute(q Query) (*Result, error) {
 	if len(bypass) > 0 {
 		var demoted []*planned
 		for _, p := range bypass {
-			est, eerr := e.back.EstimateScan(nq.GB, []int{nums[p.idx]})
+			est, eerr := e.back.EstimateScan(ctx, nq.GB, []int{nums[p.idx]})
 			if eerr == nil && float64(p.plan.Cost) > float64(est)*e.opts.BackendPenalty+e.opts.ConnectCostUnits {
 				demoted = append(demoted, p)
 			} else {
@@ -318,7 +368,7 @@ func (e *Engine) execute(q Query) (*Result, error) {
 	// deduplicated against identical in-flight fetches and issued outside
 	// the cache lock.
 	if len(missing) > 0 {
-		if err := e.fetchMissing(nq.GB, missing, missingIdx, res); err != nil {
+		if err := e.fetchMissing(ctx, nq.GB, missing, missingIdx, res, 0); err != nil {
 			return nil, err
 		}
 	}
@@ -409,6 +459,13 @@ func (e *Engine) execute(q Query) (*Result, error) {
 	e.stats.queries.Add(1)
 	if res.CompleteHit {
 		e.stats.completeHits.Add(1)
+		if e.Degraded() {
+			// The backend is unreachable but the cache answered anyway —
+			// the availability win degraded mode exists for.
+			res.Degraded = true
+			e.stats.degradedHits.Add(1)
+			e.met.DegradedAnswers.Inc()
+		}
 	}
 	e.stats.aggTuples.Add(res.AggregatedTuples)
 	e.stats.lookupNS.Add(int64(res.Breakdown.Lookup))

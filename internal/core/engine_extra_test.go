@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -21,18 +22,18 @@ type flakyBackend struct {
 
 var errInjected = errors.New("injected backend failure")
 
-func (f *flakyBackend) ComputeChunks(gb lattice.ID, nums []int) ([]*chunk.Chunk, backend.Stats, error) {
+func (f *flakyBackend) ComputeChunks(ctx context.Context, gb lattice.ID, nums []int) ([]*chunk.Chunk, backend.Stats, error) {
 	if f.fail {
 		return nil, backend.Stats{}, errInjected
 	}
-	return f.Backend.ComputeChunks(gb, nums)
+	return f.Backend.ComputeChunks(ctx, gb, nums)
 }
 
-func (f *flakyBackend) EstimateScan(gb lattice.ID, nums []int) (int64, error) {
+func (f *flakyBackend) EstimateScan(ctx context.Context, gb lattice.ID, nums []int) (int64, error) {
 	if f.fail {
 		return 0, errInjected
 	}
-	return f.Backend.EstimateScan(gb, nums)
+	return f.Backend.EstimateScan(ctx, gb, nums)
 }
 
 // TestBackendFailureSurfacesAndRecovers injects a backend failure mid-run

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -85,7 +86,7 @@ func assertMatchesOracle(t *testing.T, f *fixture, q Query, res *Result) {
 		t.Fatalf("normalize: %v", err)
 	}
 	nums := nq.chunkNumbers(f.grid)
-	want, _, err := f.oracle.ComputeChunks(nq.GB, nums)
+	want, _, err := f.oracle.ComputeChunks(context.Background(), nq.GB, nums)
 	if err != nil {
 		t.Fatalf("oracle: %v", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"aggcache/internal/cache"
@@ -43,6 +44,12 @@ func estimateBytes(g *chunk.Grid, gb lattice.ID, cells int64) int64 {
 // backend, marked as backend-class chunks. It returns the group-by loaded.
 // With no group-by fitting the cache it returns ok=false without error.
 func (e *Engine) Preload() (lattice.ID, bool, error) {
+	return e.PreloadContext(context.Background())
+}
+
+// PreloadContext is Preload with a caller-supplied context bounding the
+// backend fetch.
+func (e *Engine) PreloadContext(ctx context.Context) (lattice.ID, bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	gb, ok := ChoosePreloadGroupBy(e.grid, e.sizes, e.cache.Capacity())
@@ -53,7 +60,7 @@ func (e *Engine) Preload() (lattice.ID, bool, error) {
 	for i := range nums {
 		nums[i] = i
 	}
-	chunks, bstats, err := e.back.ComputeChunks(gb, nums)
+	chunks, bstats, err := e.back.ComputeChunks(ctx, gb, nums)
 	if err != nil {
 		return 0, false, fmt.Errorf("core: preload: %w", err)
 	}

@@ -126,6 +126,10 @@ type Result struct {
 	// sent to the backend anyway because the cost-based optimizer (§5.2,
 	// Options.CostBypass) estimated the backend to be cheaper.
 	Bypassed int
+	// Degraded reports that the answer was produced from the cache alone
+	// while the backend circuit breaker was open or half-open — correct and
+	// complete, but served in cache-only degraded mode.
+	Degraded bool
 }
 
 // Cells returns the total number of cells across the result's chunks.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -31,11 +33,19 @@ type flightCall struct {
 // flightGroup deduplicates identical concurrent backend chunk fetches: a
 // burst of queries missing the same (group-by, chunk) issues one backend
 // request. Leaders always publish and retire their own flights before
-// waiting on anyone else's, so flights cannot deadlock.
+// waiting on anyone else's, so flights cannot deadlock. A leader that fails
+// — backend error, cancelled context — publishes the error and retires the
+// flight all the same, so followers never strand; a follower whose leader
+// died of its own context (not the follower's) retries the fetch itself,
+// bounded by maxFollowerRetries.
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[flightKey]*flightCall
 }
+
+// maxFollowerRetries bounds how many times a follower re-attempts chunks
+// whose flight leader failed with a context error that was the leader's own.
+const maxFollowerRetries = 2
 
 // finish publishes the leader's outcome to each flight and retires it. On
 // success chunks[i] pairs with calls[i]; on error chunks is nil.
@@ -60,18 +70,20 @@ func (g *flightGroup) finish(gb lattice.ID, nums []int, calls []*flightCall, chu
 // existing flight are awaited after this query's own batch completes. The
 // backend round trip runs outside the cache lock; only the insertion of the
 // fetched chunks takes it.
-func (e *Engine) fetchMissing(gb lattice.ID, missing, missingIdx []int, res *Result) error {
+func (e *Engine) fetchMissing(ctx context.Context, gb lattice.ID, missing, missingIdx []int, res *Result, retry int) error {
 	own := make([]int, 0, len(missing))
 	ownIdx := make([]int, 0, len(missing))
 	var ownCalls []*flightCall
 	var waits []*flightCall
 	var waitIdx []int
+	var waitNum []int
 	e.flights.mu.Lock()
 	for i, num := range missing {
 		k := flightKey{gb: gb, num: num}
 		if c, ok := e.flights.m[k]; ok {
 			waits = append(waits, c)
 			waitIdx = append(waitIdx, missingIdx[i])
+			waitNum = append(waitNum, num)
 			continue
 		}
 		c := &flightCall{done: make(chan struct{})}
@@ -85,9 +97,16 @@ func (e *Engine) fetchMissing(gb lattice.ID, missing, missingIdx []int, res *Res
 	e.met.FlightFollowerChunks.Add(int64(len(waits)))
 
 	if len(own) > 0 {
-		chunks, bstats, err := e.back.ComputeChunks(gb, own)
+		chunks, bstats, err := e.back.ComputeChunks(ctx, gb, own)
+		if err == nil && len(chunks) != len(own) {
+			// A short (or long) reply would index out of bounds below and —
+			// worse — publish bogus chunks to followers. Treat it as a failed
+			// fetch instead.
+			err = fmt.Errorf("core: backend returned %d chunks, want %d", len(chunks), len(own))
+		}
 		if err != nil {
 			err = fmt.Errorf("core: backend: %w", err)
+			// Publish the failure so followers never strand on the flight.
 			e.flights.finish(gb, own, ownCalls, nil, 0, 0, err)
 			return err
 		}
@@ -115,14 +134,32 @@ func (e *Engine) fetchMissing(gb lattice.ID, missing, missingIdx []int, res *Res
 		e.flights.finish(gb, own, ownCalls, chunks, bstats.TuplesScanned/n, bstats.Cost()/time.Duration(n), nil)
 	}
 
+	// Chunks whose leader failed with a context error that was not ours:
+	// the fetch itself may be perfectly healthy, so retry it under our own
+	// context rather than inheriting the leader's cancellation.
+	var again []int
+	var againIdx []int
 	for i, c := range waits {
-		<-c.done
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 		if c.err != nil {
+			leaderCtxDied := errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)
+			if leaderCtxDied && ctx.Err() == nil && retry < maxFollowerRetries {
+				again = append(again, waitNum[i])
+				againIdx = append(againIdx, waitIdx[i])
+				continue
+			}
 			return c.err
 		}
 		res.Chunks[waitIdx[i]] = c.data
 		res.BackendTuples += c.tuples
 		res.Breakdown.Backend += c.cost
+	}
+	if len(again) > 0 {
+		return e.fetchMissing(ctx, gb, again, againIdx, res, retry+1)
 	}
 	return nil
 }

@@ -1,0 +1,186 @@
+// Regression tests for singleflight failure handling: a failed leader must
+// clean up its flights and propagate a typed error, a malformed backend
+// reply must not panic or poison followers, and a follower whose leader was
+// cancelled must retry under its own healthy context.
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aggcache/internal/backend"
+	"aggcache/internal/cache"
+	"aggcache/internal/chunk"
+	"aggcache/internal/lattice"
+	"aggcache/internal/sizer"
+	"aggcache/internal/strategy"
+)
+
+// scriptedBackend wraps a real backend with per-call failure scripting.
+type scriptedBackend struct {
+	backend.Backend
+
+	mu       sync.Mutex
+	failWith error // non-nil: ComputeChunks returns it
+	truncate bool  // true: drop the last chunk from the reply
+	// blockCtx, when set, makes the NEXT ComputeChunks call signal started
+	// and then block until its context ends, returning ctx.Err(). One-shot.
+	blockCtx bool
+	started  chan struct{}
+}
+
+func (s *scriptedBackend) ComputeChunks(ctx context.Context, gb lattice.ID, nums []int) ([]*chunk.Chunk, backend.Stats, error) {
+	s.mu.Lock()
+	failWith, truncate, blockCtx := s.failWith, s.truncate, s.blockCtx
+	if blockCtx {
+		s.blockCtx = false
+	}
+	started := s.started
+	s.mu.Unlock()
+	if blockCtx {
+		close(started)
+		<-ctx.Done()
+		return nil, backend.Stats{}, ctx.Err()
+	}
+	if failWith != nil {
+		return nil, backend.Stats{}, failWith
+	}
+	chunks, stats, err := s.Backend.ComputeChunks(ctx, gb, nums)
+	if err == nil && truncate && len(chunks) > 0 {
+		chunks = chunks[:len(chunks)-1]
+	}
+	return chunks, stats, err
+}
+
+func buildScripted(t *testing.T) (*Engine, *scriptedBackend, *chunk.Grid) {
+	t.Helper()
+	base := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
+	sb := &scriptedBackend{Backend: base.oracle}
+	sz := sizer.NewEstimate(base.grid, 1000)
+	c, err := cache.New(1<<20, cache.NewTwoLevel())
+	if err != nil {
+		t.Fatalf("cache.New: %v", err)
+	}
+	eng, err := New(base.grid, c, strategy.NewVCMC(base.grid, sz), sb, sz, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return eng, sb, base.grid
+}
+
+// TestFlightLeaderFailureCleansUp: a leader whose backend fetch fails must
+// report the error AND retire the flight, so the next identical query
+// retries from scratch instead of waiting on a dead flight or inheriting a
+// stale error forever.
+func TestFlightLeaderFailureCleansUp(t *testing.T) {
+	eng, sb, g := buildScripted(t)
+	q := WholeGroupBy(g.Lattice().Top())
+
+	injected := errors.New("injected backend failure")
+	sb.mu.Lock()
+	sb.failWith = injected
+	sb.mu.Unlock()
+	if _, err := eng.Execute(q); !errors.Is(err, injected) {
+		t.Fatalf("leader error = %v, want wrap of injected failure", err)
+	}
+
+	// The flight map must be empty again.
+	eng.flights.mu.Lock()
+	inFlight := len(eng.flights.m)
+	eng.flights.mu.Unlock()
+	if inFlight != 0 {
+		t.Fatalf("%d flights leaked after leader failure", inFlight)
+	}
+
+	// Backend healed: the same query must succeed on a fresh fetch.
+	sb.mu.Lock()
+	sb.failWith = nil
+	sb.mu.Unlock()
+	res, err := eng.Execute(q)
+	if err != nil {
+		t.Fatalf("retry after leader failure: %v", err)
+	}
+	if res.Cells() == 0 {
+		t.Fatalf("empty result after recovery")
+	}
+}
+
+// TestFlightLeaderFailureReachesFollowers: followers piled up behind a
+// failing leader get the error promptly (no strand, no deadlock).
+func TestFlightLeaderFailureReachesFollowers(t *testing.T) {
+	eng, sb, g := buildScripted(t)
+	q := WholeGroupBy(g.Lattice().Top())
+
+	// Leader blocks in the backend until its context is cancelled.
+	started := make(chan struct{})
+	sb.mu.Lock()
+	sb.blockCtx = true
+	sb.started = started
+	sb.mu.Unlock()
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := eng.ExecuteContext(leaderCtx, q)
+		leaderErr <- err
+	}()
+	<-started
+
+	// Follower with a bounded context joins the flight. When the leader is
+	// cancelled, the follower must not hang: it retries the fetch itself
+	// (its own context is healthy) and succeeds.
+	followerErr := make(chan error, 1)
+	var followerRes *Result
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		res, err := eng.ExecuteContext(ctx, q)
+		followerRes = res
+		followerErr <- err
+	}()
+
+	// Give the follower a moment to register on the flight, then kill the
+	// leader.
+	time.Sleep(20 * time.Millisecond)
+	cancelLeader()
+
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error = %v, want context.Canceled", err)
+	}
+	if err := <-followerErr; err != nil {
+		t.Fatalf("follower after leader cancel: %v", err)
+	}
+	if followerRes == nil || followerRes.Cells() == 0 {
+		t.Fatalf("follower got no data after retrying")
+	}
+}
+
+// TestTruncatedBackendReply: a backend replying fewer chunks than requested
+// must produce a clean error, not an index panic, and must not publish
+// bogus chunks.
+func TestTruncatedBackendReply(t *testing.T) {
+	eng, sb, g := buildScripted(t)
+	sb.mu.Lock()
+	sb.truncate = true
+	sb.mu.Unlock()
+
+	_, err := eng.Execute(WholeGroupBy(g.Lattice().Top()))
+	if err == nil {
+		t.Fatalf("truncated reply accepted")
+	}
+	if !strings.Contains(err.Error(), "chunks") {
+		t.Fatalf("truncation error unhelpful: %v", err)
+	}
+
+	// And the engine stays usable.
+	sb.mu.Lock()
+	sb.truncate = false
+	sb.mu.Unlock()
+	if _, err := eng.Execute(WholeGroupBy(g.Lattice().Top())); err != nil {
+		t.Fatalf("engine wedged after truncated reply: %v", err)
+	}
+}

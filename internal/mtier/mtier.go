@@ -9,6 +9,7 @@
 package mtier
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -52,6 +53,9 @@ type Response struct {
 	// Aggregated reports in-cache aggregation happened.
 	CompleteHit bool
 	Aggregated  bool
+	// Degraded reports the answer was served from the cache alone while the
+	// backend was unreachable (circuit breaker open) — see core.Result.
+	Degraded bool
 	// Lookup/Aggregate/Update/Backend are the time-breakup components in
 	// nanoseconds.
 	Lookup, Aggregate, Update, Backend int64
@@ -70,6 +74,8 @@ func (r *Response) Total() time.Duration {
 type Server struct {
 	engine *core.Engine
 	grid   *chunk.Grid
+	// queryTimeout bounds each query's execution; zero means no bound.
+	queryTimeout time.Duration
 
 	// reg/ring/met are the observability layer, wired by SetObs (or lazily
 	// by OpsHandler). met's handles are atomics; the ring takes its own
@@ -90,6 +96,13 @@ type Server struct {
 func NewServer(engine *core.Engine) *Server {
 	return &Server{engine: engine, grid: engine.Grid(), conns: make(map[net.Conn]struct{})}
 }
+
+// SetQueryTimeout bounds each query's execution time: the engine runs it
+// under a context with this deadline, so a hung or slow backend fails the
+// query with a timeout error instead of hanging the client. Zero (the
+// default) means unbounded. Call before Listen; it is not synchronized with
+// requests in flight.
+func (s *Server) SetQueryTimeout(d time.Duration) { s.queryTimeout = d }
 
 // SetObs attaches a metrics registry and query-trace ring. Call it before
 // Listen; it is not synchronized with requests in flight. Either argument
@@ -120,7 +133,15 @@ func (s *Server) OpsHandler() http.Handler {
 	if s.reg == nil {
 		s.SetObs(obs.NewRegistry(), obs.NewTraceRing(0))
 	}
-	return obs.NewHandler(s.reg, s.ring, s.Healthy)
+	return obs.NewStatusHandler(s.reg, s.ring, func() (bool, string) {
+		if !s.Healthy() {
+			return false, "closed"
+		}
+		if s.engine.Degraded() {
+			return true, "(degraded: cache-only, backend unavailable)"
+		}
+		return true, ""
+	})
 }
 
 // ServeOps starts the ops HTTP listener on addr and returns the bound
@@ -242,15 +263,33 @@ func (s *Server) answer(req Request) *Response {
 		return &Response{Err: err.Error()}
 	}
 	lat := s.grid.Lattice()
-	res, err := s.engine.Execute(q)
+	ctx := context.Background()
+	if s.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+		defer cancel()
+	}
+	res, err := s.engine.ExecuteContext(ctx, q)
 	if err != nil {
-		s.met.ExecuteErrors.Inc()
+		// Count failures by kind so an open breaker or a hung backend is
+		// distinguishable from a bad query on /metrics and /traces.
+		outcome := "execute_error"
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			outcome = "timeout"
+			s.met.TimeoutErrors.Inc()
+		case errors.Is(err, core.ErrBackendUnavailable):
+			outcome = "unavailable"
+			s.met.UnavailableErrors.Inc()
+		default:
+			s.met.ExecuteErrors.Inc()
+		}
 		s.met.Latency.Observe(time.Since(start))
 		s.ring.Add(obs.QueryTrace{
 			Start: start, Query: req.Query,
 			GroupBy: lat.LevelTupleString(q.GB),
 			TotalNS: int64(time.Since(start)),
-			Outcome: "execute_error", Err: err.Error(),
+			Outcome: outcome, Err: err.Error(),
 		})
 		return &Response{Err: err.Error()}
 	}
@@ -260,6 +299,7 @@ func (s *Server) answer(req Request) *Response {
 		Agg:         agg.String(),
 		CompleteHit: res.CompleteHit,
 		Aggregated:  res.AggregatedTuples > 0,
+		Degraded:    res.Degraded,
 		Lookup:      int64(res.Breakdown.Lookup),
 		Aggregate:   int64(res.Breakdown.Aggregate),
 		Update:      int64(res.Breakdown.Update),

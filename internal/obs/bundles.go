@@ -29,6 +29,10 @@ type EngineMetrics struct {
 	FlightLeaderChunks   *Counter
 	FlightFollowerChunks *Counter
 
+	DegradedAnswers    *Counter
+	BackendUnavailable *Counter
+	DeadlineExceeded   *Counter
+
 	Lookup    *Histogram
 	Aggregate *Histogram
 	Update    *Histogram
@@ -55,6 +59,10 @@ func NewEngineMetrics(r *Registry) EngineMetrics {
 
 		FlightLeaderChunks:   r.Counter("aggcache_engine_flight_leader_chunks_total", "Missing chunks this engine fetched as singleflight leader."),
 		FlightFollowerChunks: r.Counter("aggcache_engine_flight_follower_chunks_total", "Missing chunks satisfied by waiting on another query's in-flight fetch."),
+
+		DegradedAnswers:    r.Counter("aggcache_engine_degraded_answers_total", "Queries answered from the cache alone while the backend circuit breaker was not closed."),
+		BackendUnavailable: r.Counter("aggcache_engine_backend_unavailable_total", "Queries failed fast with ErrBackendUnavailable (circuit open or retry budget exhausted)."),
+		DeadlineExceeded:   r.Counter("aggcache_engine_deadline_exceeded_total", "Queries that failed because their context deadline expired."),
 
 		Lookup:    r.Histogram("aggcache_engine_lookup_seconds", "Per-query cache lookup (strategy Find) phase latency."),
 		Aggregate: r.Histogram("aggcache_engine_aggregate_seconds", "Per-query in-cache aggregation phase latency."),
@@ -130,6 +138,8 @@ type BackendMetrics struct {
 	Chunks        *Counter
 	TuplesScanned *Counter
 	ResultCells   *Counter
+	WireErrors    *Counter
+	Panics        *Counter
 	Wall          *Histogram
 	Sim           *Histogram
 }
@@ -141,6 +151,8 @@ func NewBackendMetrics(r *Registry) BackendMetrics {
 		Chunks:        r.Counter("aggcache_backend_chunks_computed_total", "Chunks computed at the backend."),
 		TuplesScanned: r.Counter("aggcache_backend_tuples_scanned_total", "Fact/aggregate tuples scanned."),
 		ResultCells:   r.Counter("aggcache_backend_result_cells_total", "Result cells produced."),
+		WireErrors:    r.Counter("aggcache_backend_wire_errors_total", "Connections torn down by malformed frames, resets or I/O deadline expiry."),
+		Panics:        r.Counter("aggcache_backend_request_panics_total", "Requests whose handler panicked and was recovered into an error response."),
 		Wall:          r.Histogram("aggcache_backend_request_seconds", "Real compute time per backend request."),
 		Sim:           r.Histogram("aggcache_backend_sim_seconds", "Simulated network/DBMS latency charged per backend request."),
 	}
@@ -149,20 +161,62 @@ func NewBackendMetrics(r *Registry) BackendMetrics {
 // ServerMetrics instruments mtier.Server: connection and request traffic
 // with failures counted by kind.
 type ServerMetrics struct {
-	ConnectionsOpen *Gauge
-	Requests        *Counter
-	CompileErrors   *Counter
-	ExecuteErrors   *Counter
-	Latency         *Histogram
+	ConnectionsOpen   *Gauge
+	Requests          *Counter
+	CompileErrors     *Counter
+	ExecuteErrors     *Counter
+	TimeoutErrors     *Counter
+	UnavailableErrors *Counter
+	Latency           *Histogram
 }
 
 // NewServerMetrics registers the middle-tier server metric set on r.
 func NewServerMetrics(r *Registry) ServerMetrics {
 	return ServerMetrics{
-		ConnectionsOpen: r.Gauge("aggcache_server_connections_open", "Client connections currently served."),
-		Requests:        r.Counter("aggcache_server_requests_total", "Requests received."),
-		CompileErrors:   r.Counter(`aggcache_server_request_errors_total{kind="compile"}`, "Failed requests, by failure kind."),
-		ExecuteErrors:   r.Counter(`aggcache_server_request_errors_total{kind="execute"}`, ""),
-		Latency:         r.Histogram("aggcache_server_request_seconds", "Server-side wall time per request."),
+		ConnectionsOpen:   r.Gauge("aggcache_server_connections_open", "Client connections currently served."),
+		Requests:          r.Counter("aggcache_server_requests_total", "Requests received."),
+		CompileErrors:     r.Counter(`aggcache_server_request_errors_total{kind="compile"}`, "Failed requests, by failure kind."),
+		ExecuteErrors:     r.Counter(`aggcache_server_request_errors_total{kind="execute"}`, ""),
+		TimeoutErrors:     r.Counter(`aggcache_server_request_errors_total{kind="timeout"}`, ""),
+		UnavailableErrors: r.Counter(`aggcache_server_request_errors_total{kind="unavailable"}`, ""),
+		Latency:           r.Histogram("aggcache_server_request_seconds", "Server-side wall time per request."),
+	}
+}
+
+// RemoteMetrics instruments the self-healing backend.Remote client: retry
+// and redial churn plus requests abandoned as unavailable.
+type RemoteMetrics struct {
+	Requests    *Counter
+	Retries     *Counter
+	Redials     *Counter
+	Unavailable *Counter
+}
+
+// NewRemoteMetrics registers the remote-client metric set on r.
+func NewRemoteMetrics(r *Registry) RemoteMetrics {
+	return RemoteMetrics{
+		Requests:    r.Counter("aggcache_remote_requests_total", "Backend wire requests issued by the remote client."),
+		Retries:     r.Counter("aggcache_remote_retries_total", "Attempts beyond the first, after a transient failure."),
+		Redials:     r.Counter("aggcache_remote_redials_total", "Reconnects after a torn-down backend connection."),
+		Unavailable: r.Counter("aggcache_remote_unavailable_total", "Requests abandoned after exhausting the retry budget."),
+	}
+}
+
+// BreakerMetrics instruments backend.Breaker: live state plus transition
+// and fail-fast traffic.
+type BreakerMetrics struct {
+	State     *Gauge
+	Opens     *Counter
+	FastFails *Counter
+	Probes    *Counter
+}
+
+// NewBreakerMetrics registers the circuit-breaker metric set on r.
+func NewBreakerMetrics(r *Registry) BreakerMetrics {
+	return BreakerMetrics{
+		State:     r.Gauge("aggcache_breaker_state", "Circuit breaker state: 0 closed, 1 half-open, 2 open."),
+		Opens:     r.Counter("aggcache_breaker_opens_total", "Times the breaker tripped open."),
+		FastFails: r.Counter("aggcache_breaker_fast_fails_total", "Requests failed fast while the breaker was open."),
+		Probes:    r.Counter("aggcache_breaker_probes_total", "Half-open probe requests admitted."),
 	}
 }

@@ -20,6 +20,18 @@ import (
 // performs no locking beyond the registry's own, so it is safe to serve
 // while the instrumented system runs at full speed.
 func NewHandler(reg *Registry, ring *TraceRing, healthy func() bool) http.Handler {
+	if healthy == nil {
+		return NewStatusHandler(reg, ring, nil)
+	}
+	return NewStatusHandler(reg, ring, func() (bool, string) { return healthy(), "" })
+}
+
+// NewStatusHandler is NewHandler with a richer health probe: status returns
+// (healthy, detail). /healthz responds 200 while healthy — with "ok" plus
+// the detail line, so a server running in cache-only degraded mode can say
+// so without failing its liveness check — and 503 with the detail
+// otherwise.
+func NewStatusHandler(reg *Registry, ring *TraceRing, status func() (bool, string)) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -28,8 +40,19 @@ func NewHandler(reg *Registry, ring *TraceRing, healthy func() bool) http.Handle
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if healthy != nil && !healthy() {
-			http.Error(w, "closed", http.StatusServiceUnavailable)
+		ok, detail := true, ""
+		if status != nil {
+			ok, detail = status()
+		}
+		if !ok {
+			if detail == "" {
+				detail = "closed"
+			}
+			http.Error(w, detail, http.StatusServiceUnavailable)
+			return
+		}
+		if detail != "" {
+			fmt.Fprintf(w, "ok %s\n", detail)
 			return
 		}
 		fmt.Fprintln(w, "ok")
