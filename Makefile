@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench fmt cover chaos ci
+.PHONY: build test vet race bench bench-kernel fmt cover chaos ci FORCE
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,19 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 100x -run XXX .
+
+# bench-kernel runs the aggregation-kernel micro-benchmarks with allocation
+# reporting and the machine-readable kernel experiment (writes BENCH_4.json).
+bench-kernel:
+	$(GO) test ./internal/chunk -run XXX -bench 'RollUpInto|CellMapBuild|GridSlice' -benchmem -benchtime 20000x | tee kernel_bench.txt
+	$(GO) run ./cmd/aggbench -scale small -exp kernel
+
+# Full aggbench reports are regenerated on demand, never committed:
+# `make results_small.txt` (or _medium/_full).
+results_%.txt: FORCE
+	$(GO) run ./cmd/aggbench -scale $* -exp all | tee $@
+
+FORCE:
 
 # fmt fails (and lists the offenders) if any file is not gofmt-clean.
 fmt:

@@ -263,7 +263,11 @@ func (e *Engine) ComputeChunks(ctx context.Context, gb lattice.ID, nums []int) (
 		if num < 0 || num >= g.NumChunks(gb) {
 			return nil, Stats{}, fmt.Errorf("backend: chunk %d of group-by %s out of range", num, lat.LevelTupleString(gb))
 		}
-		cm := g.NewCellMap(gb, num)
+		// Pooled accumulator: the built chunk is handed to the caller (which
+		// may cache it indefinitely) so Build allocates fresh arrays, but the
+		// accumulator itself — the large transient — is reused across chunks
+		// and requests.
+		cm := g.GetCellMap(gb, num)
 		sbuf = g.AncestorChunks(gb, num, src.gb, sbuf[:0])
 		for _, sc := range sbuf {
 			lo, hi := src.offsets[sc], src.offsets[sc+1]
@@ -278,6 +282,7 @@ func (e *Engine) ComputeChunks(ctx context.Context, gb lattice.ID, nums []int) (
 			stats.TuplesScanned += hi - lo
 		}
 		c := cm.Build(gb, num)
+		chunk.PutCellMap(cm)
 		stats.ResultCells += int64(c.Cells())
 		out = append(out, c)
 	}

@@ -11,6 +11,7 @@ package chunk
 
 import (
 	"fmt"
+	"sync"
 
 	"aggcache/internal/lattice"
 	"aggcache/internal/schema"
@@ -24,7 +25,10 @@ func (r Range) Len() int { return int(r.Hi - r.Lo) }
 
 // Grid is the chunking of a schema: per dimension and per hierarchy level, a
 // division of the members into contiguous chunk ranges, aligned across
-// levels so that the closure property holds. A Grid is immutable after New.
+// levels so that the closure property holds. A Grid's geometry is immutable
+// after New; the only mutable state is the internal, concurrency-safe memo
+// of roll-up mappers (see rollUpMapper), which is pure memoization of that
+// geometry.
 type Grid struct {
 	sch *schema.Schema
 	lat *lattice.Lattice
@@ -47,6 +51,12 @@ type Grid struct {
 	chunkStrides [][]int
 	// numChunks[gb] = total chunks of group-by gb.
 	numChunks []int
+
+	// mapMu guards mappers, the memoized roll-up translation tables keyed by
+	// (srcGB, srcNum, dstGB). Read-mostly: every steady-state RollUpInto is
+	// one RLock'd lookup.
+	mapMu   sync.RWMutex
+	mappers map[mapperKey]*rollUpMapper
 }
 
 // NewGrid builds a grid with counts[d][l] chunks for dimension d at level l.
@@ -71,6 +81,7 @@ func NewGrid(sch *schema.Schema, counts [][]int) (*Grid, error) {
 		parentRange: make([][][]Range, sch.NumDims()),
 		childChunk:  make([][][]int32, sch.NumDims()),
 		baseRange:   make([][][]Range, sch.NumDims()),
+		mappers:     make(map[mapperKey]*rollUpMapper),
 	}
 	for d := 0; d < sch.NumDims(); d++ {
 		if err := g.buildDim(d, counts[d]); err != nil {

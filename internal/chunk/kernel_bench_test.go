@@ -1,0 +1,132 @@
+package chunk
+
+import (
+	"testing"
+
+	"aggcache/internal/lattice"
+)
+
+// kernelFixture builds the shared micro-benchmark fixture: a fully populated
+// base chunk plus the destination chunk coordinates one roll-up step above
+// it. The grid is the same one the kernel unit tests use.
+type kernelFixture struct {
+	g      *Grid
+	src    *Chunk     // base chunk 0, all 64 cells populated
+	dstGB  lattice.ID // (Group, Store, Year) — 16-cell destination chunks
+	dstNum int
+}
+
+func newKernelFixture(b testing.TB) *kernelFixture {
+	g := rollupTestGrid(b)
+	lat := g.Lattice()
+	base := lat.Base()
+	cm := NewCellMap()
+	cap := g.CellCapacity(base, 0)
+	for k := uint64(0); k < uint64(cap); k++ {
+		cm.Add(k, float64(k%7+1))
+	}
+	src := cm.Build(base, 0)
+	dstGB := lat.MustID(1, 1, 1)
+	dstNum := g.DescendantChunk(base, 0, dstGB)
+	return &kernelFixture{g: g, src: src, dstGB: dstGB, dstNum: dstNum}
+}
+
+// BenchmarkRollUpInto measures one roll-up of a dense 64-cell base chunk
+// into its 16-cell destination — the aggregation kernel's unit of work.
+// Allocations per op cover mapper lookup plus key translation.
+func BenchmarkRollUpInto(b *testing.B) {
+	f := newKernelFixture(b)
+	cm := f.g.NewCellMap(f.dstGB, f.dstNum)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.g.RollUpInto(cm, f.dstGB, f.dstNum, f.src); err != nil {
+			b.Fatalf("RollUpInto: %v", err)
+		}
+	}
+}
+
+// BenchmarkRollUpIntoWide is RollUpInto against the top chunk: every source
+// cell collapses into one destination cell (the all-identity-dims extreme).
+func BenchmarkRollUpIntoWide(b *testing.B) {
+	f := newKernelFixture(b)
+	top := f.g.Lattice().Top()
+	cm := f.g.NewCellMap(top, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.g.RollUpInto(cm, top, 0, f.src); err != nil {
+			b.Fatalf("RollUpInto: %v", err)
+		}
+	}
+}
+
+// BenchmarkCellMapBuild measures the accumulate-then-build cycle the engine
+// runs per intermediate plan node: obtain an accumulator, add the source
+// cells, build the result chunk, release everything. This is the pooled
+// steady state (GetCellMap → BuildInto scratch → Put).
+func BenchmarkCellMapBuild(b *testing.B) {
+	f := newKernelFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm := f.g.GetCellMap(f.dstGB, f.dstNum)
+		for k := uint64(0); k < 16; k++ {
+			cm.AddCell(k, float64(k), 1)
+		}
+		c := cm.BuildInto(f.dstGB, f.dstNum, GetScratchChunk())
+		if c.Cells() != 16 {
+			b.Fatalf("built %d cells, want 16", c.Cells())
+		}
+		PutScratchChunk(c)
+		PutCellMap(cm)
+	}
+}
+
+// BenchmarkCellMapBuildFresh is the same cycle without pooling — what every
+// plan node paid before accumulator reuse, and what retained results
+// (Build) still pay by design.
+func BenchmarkCellMapBuildFresh(b *testing.B) {
+	f := newKernelFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm := f.g.NewCellMap(f.dstGB, f.dstNum)
+		for k := uint64(0); k < 16; k++ {
+			cm.AddCell(k, float64(k), 1)
+		}
+		c := cm.Build(f.dstGB, f.dstNum)
+		if c.Cells() != 16 {
+			b.Fatalf("built %d cells, want 16", c.Cells())
+		}
+	}
+}
+
+// BenchmarkGridSlice measures trimming a 64-cell chunk to a half-region.
+func BenchmarkGridSlice(b *testing.B) {
+	f := newKernelFixture(b)
+	ranges := []Range{{0, 2}, {0, 4}, {0, 4}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := f.g.Slice(f.src, ranges)
+		if out.Cells() == 0 {
+			b.Fatalf("empty slice")
+		}
+	}
+}
+
+// BenchmarkGridSliceFull measures the no-trim case: every cell inside the
+// requested ranges.
+func BenchmarkGridSliceFull(b *testing.B) {
+	f := newKernelFixture(b)
+	ranges := []Range{{0, 4}, {0, 4}, {0, 4}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := f.g.Slice(f.src, ranges)
+		if out.Cells() != f.src.Cells() {
+			b.Fatalf("full slice dropped cells")
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package chunk
+
+import (
+	"fmt"
+	"math"
+
+	"aggcache/internal/lattice"
+)
+
+// fusedLimit is the largest source-chunk cell capacity for which the mapper
+// tabulates the whole srcKey → dstKey translation into one lookup table
+// (≤ 16 KiB per table). Larger sources use the per-dimension generic path.
+const fusedLimit = 1 << 12
+
+// mapperKey identifies one roll-up translation: source chunk (srcGB, srcNum)
+// into its destination chunk at dstGB. The destination chunk number is not
+// part of the key — a source chunk falls in exactly one destination chunk —
+// so it is stored in the mapper and verified on every lookup instead.
+type mapperKey struct {
+	srcGB, dstGB lattice.ID
+	srcNum       int32
+}
+
+// rollUpMapper is the precomputed key translation for rolling one source
+// chunk's cells up into its destination chunk. Mappers are built once per
+// (srcGB, srcNum, dstGB) and memoized on the Grid for the process lifetime:
+// the translation depends only on the grid's immutable geometry (chunk
+// coordinates, member ranges and hierarchy ancestors), never on chunk
+// payloads, so cached mappers need no invalidation. Exactly one of the three
+// translation forms is active, fastest first:
+//
+//   - copyThrough: source and destination coordinate spaces coincide (same
+//     group-by, or every dimension translates identically) — keys pass
+//     through untouched;
+//   - fused: fused[srcKey] = dstKey, one table lookup per cell;
+//   - generic: per-dimension decode restricted to the non-trivial dimensions
+//     (source span > 1), with the constant contribution of span-1 dimensions
+//     folded into base.
+type rollUpMapper struct {
+	dstNum      int32
+	copyThrough bool
+	fused       []uint32
+	base        uint64
+	spans       []uint64   // source spans of non-trivial dims, least-significant first
+	strides     []uint64   // destination strides of those dims
+	tables      [][]uint32 // tables[j][srcOff] = destination offset
+}
+
+// rollUpMapperFor returns the memoized mapper for rolling chunk srcNum of
+// srcGB into chunk dstNum of dstGB, building and caching it on first use.
+// Safe for concurrent use; concurrent first lookups may build the same
+// mapper twice, with one copy winning — both are identical.
+func (g *Grid) rollUpMapperFor(dstGB lattice.ID, dstNum int, srcGB lattice.ID, srcNum int) (*rollUpMapper, error) {
+	key := mapperKey{srcGB: srcGB, dstGB: dstGB, srcNum: int32(srcNum)}
+	g.mapMu.RLock()
+	m := g.mappers[key]
+	g.mapMu.RUnlock()
+	if m == nil {
+		var err error
+		m, err = g.buildRollUpMapper(dstGB, srcGB, srcNum)
+		if err != nil {
+			return nil, err
+		}
+		g.mapMu.Lock()
+		if prev, ok := g.mappers[key]; ok {
+			m = prev
+		} else {
+			g.mappers[key] = m
+		}
+		g.mapMu.Unlock()
+	}
+	if int(m.dstNum) != dstNum {
+		return nil, fmt.Errorf("chunk: source chunk %d of %s does not fall in chunk %d of %s",
+			srcNum, g.lat.LevelTupleString(srcGB), dstNum, g.lat.LevelTupleString(dstGB))
+	}
+	return m, nil
+}
+
+// buildRollUpMapper constructs the translation tables for one (src chunk,
+// dst group-by) pair and picks the fastest applicable form.
+func (g *Grid) buildRollUpMapper(dstGB, srcGB lattice.ID, srcNum int) (*rollUpMapper, error) {
+	if !g.lat.ComputableFrom(dstGB, srcGB) {
+		return nil, fmt.Errorf("chunk: group-by %s is not computable from %s",
+			g.lat.LevelTupleString(dstGB), g.lat.LevelTupleString(srcGB))
+	}
+	dstNum := g.DescendantChunk(srcGB, srcNum, dstGB)
+	m := &rollUpMapper{dstNum: int32(dstNum)}
+	if srcGB == dstGB {
+		m.copyThrough = true
+		return m, nil
+	}
+
+	nd := g.sch.NumDims()
+	var sbuf, dbuf [16]int32
+	srcCoords := g.Coords(srcGB, srcNum, sbuf[:0])
+	dstCoords := g.Coords(dstGB, dstNum, dbuf[:0])
+	srcSpans := make([]uint64, nd)
+	dstStrides := make([]uint64, nd)
+	tables := make([][]uint32, nd)
+	dstSpans := make([]uint64, nd)
+	for d := 0; d < nd; d++ {
+		sl, dl := g.lat.LevelAt(srcGB, d), g.lat.LevelAt(dstGB, d)
+		sr := g.MemberRange(d, sl, srcCoords[d])
+		dr := g.MemberRange(d, dl, dstCoords[d])
+		srcSpans[d] = uint64(sr.Hi - sr.Lo)
+		dstSpans[d] = uint64(dr.Hi - dr.Lo)
+		tab := make([]uint32, sr.Hi-sr.Lo)
+		dim := g.sch.Dim(d)
+		for off := range tab {
+			anc := dim.Ancestor(sl, dl, sr.Lo+int32(off))
+			tab[off] = uint32(anc - dr.Lo)
+		}
+		tables[d] = tab
+	}
+	srcCap, dstCap := uint64(1), uint64(1)
+	stride := uint64(1)
+	for d := nd - 1; d >= 0; d-- {
+		dstStrides[d] = stride
+		stride *= dstSpans[d]
+		srcCap *= srcSpans[d]
+		dstCap *= dstSpans[d]
+	}
+
+	// Fold span-1 source dimensions into a constant and keep the rest in
+	// least-significant-first decode order.
+	srcStride := uint64(1)
+	identity := true
+	for d := nd - 1; d >= 0; d-- {
+		if srcSpans[d] == 1 {
+			m.base += uint64(tables[d][0]) * dstStrides[d]
+			continue
+		}
+		if dstStrides[d] != srcStride || !identityTable(tables[d]) {
+			identity = false
+		}
+		m.spans = append(m.spans, srcSpans[d])
+		m.strides = append(m.strides, dstStrides[d])
+		m.tables = append(m.tables, tables[d])
+		srcStride *= srcSpans[d]
+	}
+	if identity && m.base == 0 {
+		// Every cell key maps to itself (the destination only collapses
+		// span-1 dimensions) — the pure-copy path.
+		m.copyThrough = true
+		m.spans, m.strides, m.tables = nil, nil, nil
+		return m, nil
+	}
+	if srcCap <= fusedLimit && dstCap <= math.MaxUint32 {
+		fused := make([]uint32, srcCap)
+		for k := uint64(0); k < srcCap; k++ {
+			dk := m.base
+			rem := k
+			for j, span := range m.spans {
+				off := rem % span
+				rem /= span
+				dk += uint64(m.tables[j][off]) * m.strides[j]
+			}
+			fused[k] = uint32(dk)
+		}
+		m.fused = fused
+		m.spans, m.strides, m.tables = nil, nil, nil
+	}
+	return m, nil
+}
+
+// identityTable reports whether tab maps every offset to itself.
+func identityTable(tab []uint32) bool {
+	for off, v := range tab {
+		if v != uint32(off) {
+			return false
+		}
+	}
+	return true
+}

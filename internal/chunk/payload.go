@@ -12,7 +12,8 @@ import (
 // chunk (see Grid.ChunkOfCell). Each cell carries the measure's SUM and the
 // contributing fact-row COUNT; both are distributive, so any roll-up of
 // chunks can serve SUM, COUNT and AVG queries. A Chunk is immutable once
-// built.
+// built — except for pooled scratch chunks (GetScratchChunk), which their
+// owner may rebuild between release points.
 type Chunk struct {
 	GB     lattice.ID
 	Num    int32
@@ -86,20 +87,26 @@ func (c *Chunk) String() string {
 }
 
 // denseLimit is the largest chunk capacity for which the accumulator uses a
-// dense array (8 bytes/slot → at most 512 KiB transient) instead of a hash
+// dense array (a float64 sum plus an int64 count per slot plus the occupancy
+// bitmap, ≈17 bytes/slot → at most ~1.1 MiB transient) instead of a hash
 // map. Aggregated chunks — the hot aggregation targets — are far below it.
 const denseLimit = 1 << 16
 
 // CellMap accumulates cells for one chunk under construction. Adding the
 // same key twice sums the values — the aggregation primitive. Accumulators
-// created with Grid.NewCellMap for small-capacity chunks use a dense array
-// (≈20× faster per tuple than hashing); others fall back to a map.
+// created with Grid.NewCellMap (or pooled via Grid.GetCellMap) for
+// small-capacity chunks use a dense array (≈20× faster per tuple than
+// hashing); others fall back to a map.
 type CellMap struct {
 	m      map[uint64]cellAgg
 	dense  []float64
 	denseN []int64
 	occ    []uint64 // occupancy bitmap for dense mode
 	n      int
+	// isDense selects the active mode. A pooled accumulator keeps the dense
+	// arrays' capacity across a sparse reuse, so the flag — not the slices'
+	// nilness — is authoritative.
+	isDense bool
 }
 
 type cellAgg struct {
@@ -113,15 +120,39 @@ func NewCellMap() *CellMap { return &CellMap{m: make(map[uint64]cellAgg)} }
 // NewCellMap returns an accumulator for chunk num of group-by gb, dense when
 // the chunk's cell capacity permits.
 func (g *Grid) NewCellMap(gb lattice.ID, num int) *CellMap {
-	cap := g.CellCapacity(gb, num)
-	if cap <= denseLimit {
-		return &CellMap{
-			dense:  make([]float64, cap),
-			denseN: make([]int64, cap),
-			occ:    make([]uint64, (cap+63)/64),
+	cm := &CellMap{}
+	cm.prepare(g.CellCapacity(gb, num))
+	return cm
+}
+
+// prepare (re)configures an empty accumulator for the given cell capacity,
+// reusing whatever backing arrays it already has. The caller must ensure cm
+// holds no cells (fresh, or Reset — the pool invariant): dense slots grown
+// into are only guaranteed zero because Reset zeroes every occupied slot
+// before the arrays shrink.
+func (cm *CellMap) prepare(capacity int64) {
+	if capacity > 0 && capacity <= denseLimit {
+		cm.isDense = true
+		n := int(capacity)
+		if cap(cm.dense) >= n {
+			cm.dense = cm.dense[:n]
+			cm.denseN = cm.denseN[:n]
+		} else {
+			cm.dense = make([]float64, n)
+			cm.denseN = make([]int64, n)
 		}
+		w := (n + 63) / 64
+		if cap(cm.occ) >= w {
+			cm.occ = cm.occ[:w]
+		} else {
+			cm.occ = make([]uint64, w)
+		}
+		return
 	}
-	return NewCellMap()
+	cm.isDense = false
+	if cm.m == nil {
+		cm.m = make(map[uint64]cellAgg)
+	}
 }
 
 // Add accumulates one fact row's value into the cell with the given key.
@@ -130,7 +161,7 @@ func (cm *CellMap) Add(key uint64, v float64) { cm.AddCell(key, v, 1) }
 // AddCell accumulates an already-aggregated cell (sum over count fact rows)
 // into the cell with the given key — the roll-up primitive.
 func (cm *CellMap) AddCell(key uint64, sum float64, count int64) {
-	if cm.dense != nil {
+	if cm.isDense {
 		if cm.occ[key/64]&(1<<(key%64)) == 0 {
 			cm.occ[key/64] |= 1 << (key % 64)
 			cm.n++
@@ -147,15 +178,17 @@ func (cm *CellMap) AddCell(key uint64, sum float64, count int64) {
 
 // Len returns the number of distinct cells accumulated.
 func (cm *CellMap) Len() int {
-	if cm.dense != nil {
+	if cm.isDense {
 		return cm.n
 	}
 	return len(cm.m)
 }
 
-// Reset clears the accumulator for reuse.
+// Reset clears the accumulator for reuse. In dense mode it zeroes exactly
+// the occupied slots, which keeps the whole backing array zero — the
+// invariant pooled reuse at a different capacity relies on.
 func (cm *CellMap) Reset() {
-	if cm.dense != nil {
+	if cm.isDense {
 		for i, w := range cm.occ {
 			if w == 0 {
 				continue
@@ -176,15 +209,30 @@ func (cm *CellMap) Reset() {
 }
 
 // Build sorts the accumulated cells into an immutable Chunk for chunk num of
-// group-by gb.
+// group-by gb. The chunk owns freshly allocated backing arrays, so it may be
+// retained indefinitely (cache inserts, query results).
 func (cm *CellMap) Build(gb lattice.ID, num int) *Chunk {
-	if cm.dense != nil {
-		c := &Chunk{
-			GB: gb, Num: int32(num),
-			Keys:   make([]uint64, 0, cm.n),
-			Vals:   make([]float64, 0, cm.n),
-			Counts: make([]int64, 0, cm.n),
-		}
+	return cm.BuildInto(gb, num, &Chunk{})
+}
+
+// BuildInto is Build emitting into c's backing arrays, growing them only
+// when the cell count exceeds their capacity — the allocation-free path for
+// intermediate results that live only until a parent roll-up consumes them.
+// It returns c. Pair with GetScratchChunk/PutScratchChunk; never hand a
+// reused chunk to an owner that retains it.
+func (cm *CellMap) BuildInto(gb lattice.ID, num int, c *Chunk) *Chunk {
+	n := cm.Len()
+	c.GB, c.Num = gb, int32(num)
+	if cap(c.Keys) < n {
+		c.Keys = make([]uint64, 0, n)
+		c.Vals = make([]float64, 0, n)
+		c.Counts = make([]int64, 0, n)
+	} else {
+		c.Keys = c.Keys[:0]
+		c.Vals = c.Vals[:0]
+		c.Counts = c.Counts[:0]
+	}
+	if cm.isDense {
 		for i, w := range cm.occ {
 			if w == 0 {
 				continue
@@ -200,29 +248,16 @@ func (cm *CellMap) Build(gb lattice.ID, num int) *Chunk {
 		}
 		return c
 	}
-	c := &Chunk{
-		GB: gb, Num: int32(num),
-		Keys:   make([]uint64, 0, len(cm.m)),
-		Vals:   make([]float64, len(cm.m)),
-		Counts: make([]int64, len(cm.m)),
-	}
 	for k := range cm.m {
 		c.Keys = append(c.Keys, k)
 	}
 	sort.Slice(c.Keys, func(i, j int) bool { return c.Keys[i] < c.Keys[j] })
-	for i, k := range c.Keys {
-		c.Vals[i] = cm.m[k].sum
-		c.Counts[i] = cm.m[k].count
+	for _, k := range c.Keys {
+		a := cm.m[k]
+		c.Vals = append(c.Vals, a.sum)
+		c.Counts = append(c.Counts, a.count)
 	}
 	return c
-}
-
-// rollUpMapper caches per-dimension offset translation tables for rolling a
-// source chunk's cells up into a destination chunk.
-type rollUpMapper struct {
-	srcSpans   []uint64  // per-dim member spans of the source chunk
-	dstStrides []uint64  // per-dim row-major strides in the destination chunk
-	tables     [][]int64 // tables[d][srcOff] = dst offset
 }
 
 // RollUpInto aggregates every cell of src into dst, translating cell keys
@@ -230,83 +265,104 @@ type rollUpMapper struct {
 // (dstGB, dstNum). The source group-by must be an ancestor (componentwise ≥)
 // of dstGB and the source chunk must lie inside the destination chunk's
 // region. It returns the number of cells scanned.
+//
+// The key translation runs off a mapper memoized on the Grid (see
+// rollUpMapper), so the steady state builds no tables and allocates nothing;
+// per cell it does one table lookup on the fused path, or one div/mod per
+// non-trivial dimension on the generic path.
 func (g *Grid) RollUpInto(dst *CellMap, dstGB lattice.ID, dstNum int, src *Chunk) (int, error) {
 	m, err := g.rollUpMapperFor(dstGB, dstNum, src.GB, int(src.Num))
 	if err != nil {
 		return 0, err
 	}
-	nd := len(m.tables)
-	for i, key := range src.Keys {
-		dk := uint64(0)
-		// Decode src key most-significant dimension first by repeated
-		// div/mod from the least significant end.
-		k := key
-		for d := nd - 1; d >= 0; d-- {
-			off := k % m.srcSpans[d]
-			k /= m.srcSpans[d]
-			dk += uint64(m.tables[d][off]) * m.dstStrides[d]
+	counts := src.Counts
+	switch {
+	case m.copyThrough:
+		if counts == nil {
+			for i, key := range src.Keys {
+				dst.AddCell(key, src.Vals[i], 1)
+			}
+		} else {
+			for i, key := range src.Keys {
+				dst.AddCell(key, src.Vals[i], counts[i])
+			}
 		}
-		count := int64(1)
-		if src.Counts != nil {
-			count = src.Counts[i]
+	case m.fused != nil:
+		fused := m.fused
+		if counts == nil {
+			for i, key := range src.Keys {
+				dst.AddCell(uint64(fused[key]), src.Vals[i], 1)
+			}
+		} else {
+			for i, key := range src.Keys {
+				dst.AddCell(uint64(fused[key]), src.Vals[i], counts[i])
+			}
 		}
-		dst.AddCell(dk, src.Vals[i], count)
+	default:
+		for i, key := range src.Keys {
+			dk := m.base
+			k := key
+			for j, span := range m.spans {
+				off := k % span
+				k /= span
+				dk += uint64(m.tables[j][off]) * m.strides[j]
+			}
+			count := int64(1)
+			if counts != nil {
+				count = counts[i]
+			}
+			dst.AddCell(dk, src.Vals[i], count)
+		}
 	}
 	return len(src.Keys), nil
 }
 
-func (g *Grid) rollUpMapperFor(dstGB lattice.ID, dstNum int, srcGB lattice.ID, srcNum int) (*rollUpMapper, error) {
-	if !g.lat.ComputableFrom(dstGB, srcGB) {
-		return nil, fmt.Errorf("chunk: group-by %s is not computable from %s",
-			g.lat.LevelTupleString(dstGB), g.lat.LevelTupleString(srcGB))
-	}
-	if g.DescendantChunk(srcGB, srcNum, dstGB) != dstNum {
-		return nil, fmt.Errorf("chunk: source chunk %d of %s does not fall in chunk %d of %s",
-			srcNum, g.lat.LevelTupleString(srcGB), dstNum, g.lat.LevelTupleString(dstGB))
-	}
-	nd := g.sch.NumDims()
-	var sbuf, dbuf [16]int32
-	srcCoords := g.Coords(srcGB, srcNum, sbuf[:0])
-	dstCoords := g.Coords(dstGB, dstNum, dbuf[:0])
-	m := &rollUpMapper{
-		srcSpans:   make([]uint64, nd),
-		dstStrides: make([]uint64, nd),
-		tables:     make([][]int64, nd),
-	}
-	dstSpans := make([]uint64, nd)
-	for d := 0; d < nd; d++ {
-		sl, dl := g.lat.LevelAt(srcGB, d), g.lat.LevelAt(dstGB, d)
-		sr := g.MemberRange(d, sl, srcCoords[d])
-		dr := g.MemberRange(d, dl, dstCoords[d])
-		m.srcSpans[d] = uint64(sr.Hi - sr.Lo)
-		dstSpans[d] = uint64(dr.Hi - dr.Lo)
-		tab := make([]int64, sr.Hi-sr.Lo)
-		dim := g.sch.Dim(d)
-		for off := range tab {
-			anc := dim.Ancestor(sl, dl, sr.Lo+int32(off))
-			tab[off] = int64(anc - dr.Lo)
-		}
-		m.tables[d] = tab
-	}
-	stride := uint64(1)
-	for d := nd - 1; d >= 0; d-- {
-		m.dstStrides[d] = stride
-		stride *= dstSpans[d]
-	}
-	return m, nil
-}
-
 // Slice returns the cells of c whose members fall inside the given absolute
 // member ranges (one Range per dimension, at c's group-by levels). It is
-// used to trim chunk-aligned answers to the exact query region.
+// used to trim chunk-aligned answers to the exact query region. Instead of
+// decoding every cell back to member ids, each dimension's constraint is
+// precomputed as an intra-chunk offset window and tested during the key
+// decode. When the whole chunk qualifies, c itself is returned (chunks are
+// immutable); when no cell can qualify, the scan is skipped entirely.
 func (g *Grid) Slice(c *Chunk, ranges []Range) *Chunk {
+	lv := g.lat.Level(c.GB)
+	var cbuf [16]int32
+	coords := g.Coords(c.GB, int(c.Num), cbuf[:0])
+	var spans, offLo, offHi [16]uint64
+	nd := len(coords)
+	full := true
+	for d, cd := range coords {
+		r := g.MemberRange(d, lv[d], cd)
+		lo, hi := r.Lo, r.Hi
+		if d < len(ranges) {
+			if ranges[d].Lo > lo {
+				lo = ranges[d].Lo
+			}
+			if ranges[d].Hi < hi {
+				hi = ranges[d].Hi
+			}
+		}
+		if hi <= lo {
+			return &Chunk{GB: c.GB, Num: c.Num}
+		}
+		spans[d] = uint64(r.Hi - r.Lo)
+		offLo[d] = uint64(lo - r.Lo)
+		offHi[d] = uint64(hi - r.Lo)
+		if offLo[d] != 0 || offHi[d] != spans[d] {
+			full = false
+		}
+	}
+	if full {
+		return c
+	}
 	out := &Chunk{GB: c.GB, Num: c.Num}
-	var mbuf [16]int32
 	for i, key := range c.Keys {
-		members := g.CellMembers(c.GB, int(c.Num), key, mbuf[:0])
+		k := key
 		in := true
-		for d, r := range ranges {
-			if members[d] < r.Lo || members[d] >= r.Hi {
+		for d := nd - 1; d >= 0; d-- {
+			off := k % spans[d]
+			k /= spans[d]
+			if off < offLo[d] || off >= offHi[d] {
 				in = false
 				break
 			}

@@ -548,7 +548,7 @@ func (e *Engine) snapshotLeaves(p *strategy.Plan, m map[cache.Key]*chunk.Chunk) 
 // runPlan materializes one plan from snapshotted leaf payloads.
 func (e *Engine) runPlan(p *strategy.Plan, leafData map[cache.Key]*chunk.Chunk) aggOut {
 	var out aggOut
-	out.data, out.tuples, out.err = e.aggregate(p, leafData, &out)
+	out.data, out.tuples, _, out.err = e.aggregate(p, leafData, &out, true)
 	return out
 }
 
@@ -556,32 +556,46 @@ func (e *Engine) runPlan(p *strategy.Plan, leafData map[cache.Key]*chunk.Chunk) 
 // pure computation over immutable chunks, safe outside the cache lock.
 // Interior results are collected (bottom-up) into out.inter for insertion
 // under the lock when InsertIntermediates is on.
-func (e *Engine) aggregate(p *strategy.Plan, leafData map[cache.Key]*chunk.Chunk, out *aggOut) (*chunk.Chunk, int64, error) {
+//
+// Accumulators come from the chunk package's pool, and interior results that
+// nothing retains (root==false, intermediates not being inserted) are built
+// into pooled scratch chunks released as soon as the parent roll-up consumes
+// them; the returned pooled flag tells the caller it owns such a release.
+// Chunks that outlive the plan run — the root result, which lands in the
+// Result and the cache, and intermediates under InsertIntermediates — are
+// always built fresh.
+func (e *Engine) aggregate(p *strategy.Plan, leafData map[cache.Key]*chunk.Chunk, out *aggOut, root bool) (data *chunk.Chunk, tuples int64, pooled bool, err error) {
 	k := cache.Key{GB: p.GB, Num: int32(p.Num)}
 	if p.Present {
 		data, ok := leafData[k]
 		if !ok {
-			return nil, 0, fmt.Errorf("core: plan leaf %v vanished from the cache", k)
+			return nil, 0, false, fmt.Errorf("core: plan leaf %v vanished from the cache", k)
 		}
-		return data, 0, nil
+		return data, 0, false, nil
 	}
-	cm := e.grid.NewCellMap(p.GB, p.Num)
-	var tuples int64
+	cm := e.grid.GetCellMap(p.GB, p.Num)
+	defer chunk.PutCellMap(cm)
 	for _, in := range p.Inputs {
-		sub, subTuples, err := e.aggregate(in, leafData, out)
+		sub, subTuples, subPooled, err := e.aggregate(in, leafData, out, false)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, false, err
 		}
 		tuples += subTuples
 		scanned, err := e.grid.RollUpInto(cm, p.GB, p.Num, sub)
+		if subPooled {
+			chunk.PutScratchChunk(sub)
+		}
 		if err != nil {
-			return nil, 0, fmt.Errorf("core: aggregation: %w", err)
+			return nil, 0, false, fmt.Errorf("core: aggregation: %w", err)
 		}
 		tuples += int64(scanned)
 	}
-	data := cm.Build(p.GB, p.Num)
-	if e.opts.InsertIntermediates {
-		out.inter = append(out.inter, computed{key: k, data: data, tuples: tuples})
+	if root || e.opts.InsertIntermediates {
+		data = cm.Build(p.GB, p.Num)
+		if !root {
+			out.inter = append(out.inter, computed{key: k, data: data, tuples: tuples})
+		}
+		return data, tuples, false, nil
 	}
-	return data, tuples, nil
+	return cm.BuildInto(p.GB, p.Num, chunk.GetScratchChunk()), tuples, true, nil
 }
