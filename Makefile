@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernel fmt cover chaos ci FORCE
+.PHONY: build test vet race bench bench-kernel bench-shards soak-shards fmt cover chaos ci FORCE
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,17 @@ bench:
 bench-kernel:
 	$(GO) test ./internal/chunk -run XXX -bench 'RollUpInto|CellMapBuild|GridSlice' -benchmem -benchtime 20000x | tee kernel_bench.txt
 	$(GO) run ./cmd/aggbench -scale small -exp kernel
+
+# bench-shards measures cache-lock scaling across 1/4/16 shards and
+# 1/4/8 concurrent clients (writes BENCH_5.json).
+bench-shards:
+	$(GO) run ./cmd/aggbench -scale small -exp shards
+
+# soak-shards runs the sharded-store concurrency suite under the race
+# detector: the cache-level invariant soak plus the engine-level soak whose
+# 4-shard subject must match a serialized single-lock reference.
+soak-shards:
+	$(GO) test -race -run 'Sharded|ShardDistribution|StoreStats|ConcurrentSoak|EngineConcurrent' ./internal/cache ./internal/core
 
 # Full aggbench reports are regenerated on demand, never committed:
 # `make results_small.txt` (or _medium/_full).

@@ -197,7 +197,7 @@ func BenchmarkUnitAggBenefit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// Evict the computed top chunk so each iteration aggregates anew.
 		sys.Cache.Evict(cache.Key{GB: lat.Top(), Num: 0})
-		if _, err := sys.Engine.Execute(q); err != nil {
+		if _, err := sys.Engine.Execute(context.Background(), q); err != nil {
 			b.Fatalf("Execute: %v", err)
 		}
 	}
@@ -314,7 +314,7 @@ func BenchmarkEngineCompleteHit(b *testing.B) {
 	q := core.Query{GB: e.Grid.Lattice().Base()}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Engine.Execute(q); err != nil {
+		if _, err := sys.Engine.Execute(context.Background(), q); err != nil {
 			b.Fatalf("Execute: %v", err)
 		}
 	}
@@ -338,7 +338,7 @@ func BenchmarkConcurrentStream(b *testing.B) {
 	}
 	queries, _ := gen.Stream(64)
 	for i, q := range queries {
-		if _, err := sys.Engine.Execute(q); err != nil {
+		if _, err := sys.Engine.Execute(context.Background(), q); err != nil {
 			b.Fatalf("warm query %d: %v", i, err)
 		}
 	}
@@ -346,7 +346,7 @@ func BenchmarkConcurrentStream(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			if _, err := sys.Engine.Execute(queries[i%len(queries)]); err != nil {
+			if _, err := sys.Engine.Execute(context.Background(), queries[i%len(queries)]); err != nil {
 				b.Errorf("Execute: %v", err)
 				return
 			}

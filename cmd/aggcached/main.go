@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +47,7 @@ func main() {
 		seedFlag    = flag.Int64("seed", 1, "generator seed (in-process backend)")
 		stratFlag   = flag.String("strategy", "VCMC", "lookup strategy: ESM|ESMC|VCM|VCMC|NoAgg")
 		cacheKBFlag = flag.Int64("cache-kb", 512, "cache size in KB")
+		shardsFlag  = flag.Int("cache-shards", 1, "cache shard count (power of two, max 64); 1 = single lock, 0 = auto (GOMAXPROCS)")
 		backendFlag = flag.String("backend", "", "remote backend address (empty = in-process)")
 		listenFlag  = flag.String("listen", "127.0.0.1:7071", "listen address")
 		preloadFlag = flag.Bool("preload", false, "preload the best-fitting group-by before serving")
@@ -137,19 +139,24 @@ func main() {
 	if reg != nil {
 		strat = strategy.Instrument(strat, obs.NewStrategyMetrics(reg, strat.Name()))
 	}
-	c, err := cache.New(*cacheKBFlag<<10, cache.NewTwoLevel())
+	var copts []cache.Option
+	if *shardsFlag != 1 {
+		copts = append(copts, cache.WithShards(*shardsFlag))
+	}
+	if reg != nil {
+		copts = append(copts, cache.WithMetrics(obs.NewCacheMetrics(reg)))
+	}
+	c, err := cache.New(*cacheKBFlag<<10, cache.NewTwoLevel(), copts...)
 	if err != nil {
 		fatal(err)
 	}
+	eopts := []core.Option{core.WithCostBypass(*bypassFlag)}
 	if reg != nil {
-		c.SetMetrics(obs.NewCacheMetrics(reg))
+		eopts = append(eopts, core.WithMetrics(obs.NewEngineMetrics(reg)))
 	}
-	eng, err := core.New(grid, c, strat, be, sz, core.Options{CostBypass: *bypassFlag})
+	eng, err := core.New(grid, c, strat, be, sz, eopts...)
 	if err != nil {
 		fatal(err)
-	}
-	if reg != nil {
-		eng.SetMetrics(obs.NewEngineMetrics(reg))
 	}
 	if *snapFlag != "" {
 		if f, err := os.Open(*snapFlag); err == nil {
@@ -162,7 +169,7 @@ func main() {
 		}
 	}
 	if *preloadFlag && c.Len() == 0 {
-		if gb, ok, err := eng.Preload(); err != nil {
+		if gb, ok, err := eng.Preload(context.Background()); err != nil {
 			fatal(err)
 		} else if ok {
 			fmt.Printf("aggcached: preloaded %s (%d chunks)\n",
@@ -179,8 +186,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("aggcached: %s scale, %s strategy, %dKB cache, serving on %s\n",
-		scale, strat.Name(), *cacheKBFlag, addr)
+	shards := 1
+	if sh, ok := c.(interface{ Shards() int }); ok {
+		shards = sh.Shards()
+	}
+	fmt.Printf("aggcached: %s scale, %s strategy, %dKB cache (%d shard(s)), serving on %s\n",
+		scale, strat.Name(), *cacheKBFlag, shards, addr)
 	if *opsFlag != "" {
 		opsAddr, err := srv.ServeOps(*opsFlag)
 		if err != nil {

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,7 @@ func main() {
 		seedFlag    = flag.Int64("seed", 1, "generator seed")
 		stratFlag   = flag.String("strategy", "VCMC", "lookup strategy: ESM|ESMC|VCM|VCMC|NoAgg")
 		cacheKBFlag = flag.Int64("cache-kb", 256, "cache size in KB")
+		shardsFlag  = flag.Int("cache-shards", 1, "cache shard count (power of two, max 64); 1 = single lock, 0 = auto (GOMAXPROCS)")
 		backendFlag = flag.String("backend", "", "remote backend address (empty = in-process)")
 		rowsFlag    = flag.Int("rows", 20, "max result rows to print")
 	)
@@ -83,11 +85,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	c, err := cache.New(*cacheKBFlag<<10, cache.NewTwoLevel())
+	var copts []cache.Option
+	if *shardsFlag != 1 {
+		copts = append(copts, cache.WithShards(*shardsFlag))
+	}
+	c, err := cache.New(*cacheKBFlag<<10, cache.NewTwoLevel(), copts...)
 	if err != nil {
 		fatal(err)
 	}
-	eng, err := core.New(grid, c, strat, be, sz, core.Options{})
+	eng, err := core.New(grid, c, strat, be, sz)
 	if err != nil {
 		fatal(err)
 	}
@@ -111,7 +117,7 @@ func main() {
 		case strings.HasPrefix(line, `\explain `):
 			explain(grid, eng, strings.TrimPrefix(line, `\explain `))
 		case line == `\preload`:
-			gb, ok, err := eng.Preload()
+			gb, ok, err := eng.Preload(context.Background())
 			switch {
 			case err != nil:
 				fmt.Println("error:", err)
@@ -134,7 +140,7 @@ func runQuery(grid *chunk.Grid, eng *core.Engine, line string, maxRows int) {
 		fmt.Println("error:", err)
 		return
 	}
-	res, err := eng.Execute(q)
+	res, err := eng.Execute(context.Background(), q)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

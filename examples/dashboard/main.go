@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,14 +34,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine, err := core.New(grid, c, strategy.NewVCMC(grid, sizes), be, sizes, core.Options{})
+	engine, err := core.New(grid, c, strategy.NewVCMC(grid, sizes), be, sizes)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Two-level policy step 3: preload the group-by with the most lattice
 	// descendants that fits the cache.
-	if gb, ok, err := engine.Preload(); err != nil {
+	if gb, ok, err := engine.Preload(context.Background()); err != nil {
 		log.Fatal(err)
 	} else if ok {
 		fmt.Printf("preloaded group-by %s (%d chunks)\n\n",
@@ -66,7 +67,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := engine.Execute(q)
+		res, err := engine.Execute(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,14 +38,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine, err := core.New(grid, c, strategy.NewVCMC(grid, sizes), be, sizes, core.Options{})
+	engine, err := core.New(grid, c, strategy.NewVCMC(grid, sizes), be, sizes)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	lat := grid.Lattice()
 	show := func(name string, q core.Query) {
-		res, err := engine.Execute(q)
+		res, err := engine.Execute(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}

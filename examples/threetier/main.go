@@ -50,7 +50,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	middle, err := core.New(grid, chunkCache, strategy.NewVCMC(grid, sizes), remoteDB, sizes, core.Options{})
+	middle, err := core.New(grid, chunkCache, strategy.NewVCMC(grid, sizes), remoteDB, sizes)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -58,7 +58,7 @@ func Chaos(e *Env) (*Report, error) {
 		for _, q := range qs {
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			start := time.Now()
-			res, err := sys.Engine.ExecuteContext(ctx, q)
+			res, err := sys.Engine.Execute(ctx, q)
 			elapsed := time.Since(start)
 			cancel()
 			if err != nil {

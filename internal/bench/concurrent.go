@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -80,7 +81,7 @@ func runClients(sys *System, queries []core.Query, n int) (time.Duration, error)
 			off := c * len(queries) / n
 			for i := range queries {
 				q := queries[(off+i)%len(queries)]
-				if _, err := sys.Engine.Execute(q); err != nil {
+				if _, err := sys.Engine.Execute(context.Background(), q); err != nil {
 					errs <- fmt.Errorf("bench: concurrency client %d: %w", c, err)
 					return
 				}

@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -181,7 +182,7 @@ func NewPolicy(name PolicyName) (cache.Policy, error) {
 // System bundles one cache/strategy/engine instance under test.
 type System struct {
 	Engine   *core.Engine
-	Cache    *cache.Cache
+	Cache    cache.Store
 	Strategy strategy.Strategy
 	// Preloaded is the group-by preloading chose, if preloading ran.
 	Preloaded string
@@ -194,7 +195,12 @@ type SystemSpec struct {
 	Bytes    int64
 	Preload  bool
 	Budget   int64
-	Options  core.Options
+	// Shards selects the cache's stripe count: 0 builds the single-lock
+	// reference store, anything else is passed to cache.WithShards.
+	Shards int
+	// EngineOpts tune the engine (core.WithCostBypass, core.WithReinforce,
+	// …).
+	EngineOpts []core.Option
 	// Backend overrides the environment's shared backend (e.g. one with
 	// materialized aggregates for the cost-bypass experiment).
 	Backend backend.Backend
@@ -218,27 +224,32 @@ func (e *Env) NewSystem(spec SystemSpec) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := cache.New(spec.Bytes, pol)
-	if err != nil {
-		return nil, err
+	var copts []cache.Option
+	if spec.Shards != 0 {
+		copts = append(copts, cache.WithShards(spec.Shards))
 	}
 	if spec.Obs != nil {
-		c.SetMetrics(obs.NewCacheMetrics(spec.Obs))
+		copts = append(copts, cache.WithMetrics(obs.NewCacheMetrics(spec.Obs)))
+	}
+	c, err := cache.New(spec.Bytes, pol, copts...)
+	if err != nil {
+		return nil, err
 	}
 	be := backend.Backend(e.Backend)
 	if spec.Backend != nil {
 		be = spec.Backend
 	}
-	eng, err := core.New(e.Grid, c, strat, be, e.Sizer, spec.Options)
+	eopts := spec.EngineOpts
+	if spec.Obs != nil {
+		eopts = append(eopts[:len(eopts):len(eopts)], core.WithMetrics(obs.NewEngineMetrics(spec.Obs)))
+	}
+	eng, err := core.New(e.Grid, c, strat, be, e.Sizer, eopts...)
 	if err != nil {
 		return nil, err
 	}
-	if spec.Obs != nil {
-		eng.SetMetrics(obs.NewEngineMetrics(spec.Obs))
-	}
 	sys := &System{Engine: eng, Cache: c, Strategy: strat}
 	if spec.Preload {
-		gb, ok, err := eng.Preload()
+		gb, ok, err := eng.Preload(context.Background())
 		if err != nil {
 			return nil, err
 		}

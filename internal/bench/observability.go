@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -48,7 +49,7 @@ func Observability(e *Env) (*Report, error) {
 			return 0, err
 		}
 		for _, q := range queries {
-			if _, err := sys.Engine.Execute(q); err != nil {
+			if _, err := sys.Engine.Execute(context.Background(), q); err != nil {
 				return 0, err
 			}
 		}

@@ -73,6 +73,7 @@ var experiments = []struct {
 	{"lemma1", one(Lemma1)},
 	{"lemma2", one(Lemma2)},
 	{"concurrency", one(ConcurrencySweep)},
+	{"shards", one(ShardSweep)},
 	{"kernel", one(Kernel)},
 	{"observability", one(Observability)},
 	{"chaos", one(Chaos)},

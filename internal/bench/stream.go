@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -71,7 +72,7 @@ func (e *Env) runStreamMix(spec SystemSpec, mix workload.Mix) (*StreamResult, *S
 	start := time.Now()
 	for i := 0; i < e.Cfg.Queries; i++ {
 		q, _ := gen.Next()
-		out, err := sys.Engine.Execute(q)
+		out, err := sys.Engine.Execute(context.Background(), q)
 		if err != nil {
 			return nil, nil, fmt.Errorf("bench: query %d: %w", i, err)
 		}
@@ -217,8 +218,8 @@ func CostBypass(e *Env) (*Report, error) {
 	for _, enabled := range []bool{false, true} {
 		spec := SystemSpec{
 			Strategy: StratVCMC, Policy: PolicyTwoLevel, Bytes: bytes, Preload: true,
-			Backend: be,
-			Options: core.Options{CostBypass: enabled},
+			Backend:    be,
+			EngineOpts: []core.Option{core.WithCostBypass(enabled)},
 		}
 		res, sys, err := e.runStreamSys(spec)
 		if err != nil {
@@ -248,7 +249,7 @@ func Ablations(e *Env) (*Report, error) {
 		spec SystemSpec
 	}{
 		{"two-level (full)", SystemSpec{Strategy: StratVCMC, Policy: PolicyTwoLevel, Bytes: bytes, Preload: true}},
-		{"- reinforcement", SystemSpec{Strategy: StratVCMC, Policy: PolicyTwoLevel, Bytes: bytes, Preload: true, Options: core.Options{DisableReinforce: true}}},
+		{"- reinforcement", SystemSpec{Strategy: StratVCMC, Policy: PolicyTwoLevel, Bytes: bytes, Preload: true, EngineOpts: []core.Option{core.WithReinforce(false)}}},
 		{"- preload", SystemSpec{Strategy: StratVCMC, Policy: PolicyTwoLevel, Bytes: bytes}},
 		{"- admission (benefit rings)", SystemSpec{Strategy: StratVCMC, Policy: PolicyBenefit, Bytes: bytes, Preload: true}},
 		{"plain LRU baseline", SystemSpec{Strategy: StratVCMC, Policy: PolicyLRU, Bytes: bytes, Preload: true}},

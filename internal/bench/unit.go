@@ -36,7 +36,7 @@ func UnitAggBenefit(e *Env) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := sys.Engine.Execute(singleChunkQuery(e, id))
+		res, err := sys.Engine.Execute(context.Background(), singleChunkQuery(e, id))
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ package cache
 
 import (
 	"fmt"
+	"sync"
 
 	"aggcache/internal/chunk"
 	"aggcache/internal/lattice"
@@ -100,17 +101,21 @@ type Stats struct {
 	Denied             int64 // admissions denied by the policy
 }
 
-// Cache is a bounded chunk cache.
+// Cache is the single-lock reference Store: a bounded chunk cache guarded by
+// one internal mutex.
 //
-// Locking contract: the cache performs no internal synchronization. Every
-// method — including Pin/Unpin, Insert, and anything that reaches the policy
-// or listener — must be called while holding one external lock (core.Engine's
-// cache lock). Listener and Policy callbacks fire synchronously under that
-// same lock, so strategy maintenance is serialized with cache mutation.
-// Chunk payloads (*chunk.Chunk) are immutable, so a payload pointer obtained
-// under the lock may be read after the lock is released, provided the entry
-// stays pinned so the policy cannot evict it while readers hold the pointer.
+// Locking contract: every method acquires c.mu, so concurrent callers are
+// safe without external locking. Listener and Policy callbacks fire
+// synchronously under c.mu — they must not call back into the cache. Chunk
+// payloads (*chunk.Chunk) are immutable, so a payload pointer obtained from
+// Get/Peek may be read after the call returns, provided the entry stays
+// pinned so the policy cannot evict it while readers hold the pointer.
+//
+// Construct instances through New (which returns the Store interface); the
+// concrete type is exported so tests and the sharded store can reference the
+// single-shard semantics.
 type Cache struct {
+	mu       sync.Mutex
 	capacity int64
 	used     int64
 	entries  map[Key]*Entry
@@ -119,51 +124,60 @@ type Cache struct {
 	stats    Stats
 	// met is the optional live-metrics bundle; its zero value records
 	// nothing. The handles are atomics, so an ops scraper can read them
-	// while the engine mutates the cache under its lock.
+	// while writers mutate the cache under c.mu.
 	met obs.CacheMetrics
 }
 
-// New creates a cache bounded to capacity bytes using the given replacement
-// policy.
-func New(capacity int64, policy Policy) (*Cache, error) {
-	if capacity <= 0 {
-		return nil, fmt.Errorf("cache: capacity must be positive, got %d", capacity)
-	}
-	if policy == nil {
-		return nil, fmt.Errorf("cache: policy must not be nil")
-	}
-	return &Cache{capacity: capacity, entries: make(map[Key]*Entry), policy: policy}, nil
-}
-
 // SetListener registers the strategy callback; pass nil to clear.
-func (c *Cache) SetListener(l Listener) { c.listener = l }
+func (c *Cache) SetListener(l Listener) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.listener = l
+}
 
 // SetMetrics attaches live observability metrics; call it before the cache
 // serves traffic (it is synchronized like every other cache method). The
 // occupancy gauges are initialized from the current state.
 func (c *Cache) SetMetrics(m obs.CacheMetrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.met = m
 	c.met.CapacityBytes.Set(c.capacity)
 	c.syncGauges()
 }
 
-// syncGauges publishes occupancy after a mutation.
+// syncGauges publishes occupancy after a mutation; caller holds c.mu.
 func (c *Cache) syncGauges() {
 	c.met.OccupancyBytes.Set(c.used)
 	c.met.ResidentChunks.Set(int64(len(c.entries)))
 }
 
+// Shards reports the stripe count (always 1 for the reference store).
+func (c *Cache) Shards() int { return 1 }
+
 // Capacity returns the byte bound.
 func (c *Cache) Capacity() int64 { return c.capacity }
 
 // Used returns the bytes currently charged.
-func (c *Cache) Used() int64 { return c.used }
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
 
 // Len returns the number of resident chunks.
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
 
-// Stats returns a copy of the activity counters.
-func (c *Cache) Stats() Stats { return c.stats }
+// Stats returns a consistent copy of the activity counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 // Policy returns the replacement policy.
 func (c *Cache) Policy() Policy { return c.policy }
@@ -171,12 +185,16 @@ func (c *Cache) Policy() Policy { return c.policy }
 // Contains reports residence without touching replacement state; lookup
 // strategies probe with it.
 func (c *Cache) Contains(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	_, ok := c.entries[k]
 	return ok
 }
 
 // Get returns the chunk payload for k, updating replacement state on a hit.
 func (c *Cache) Get(k Key) (*chunk.Chunk, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.entries[k]
 	if !ok {
 		c.stats.Misses++
@@ -192,6 +210,8 @@ func (c *Cache) Get(k Key) (*chunk.Chunk, bool) {
 // Peek returns the chunk payload without touching replacement state or
 // hit/miss counters.
 func (c *Cache) Peek(k Key) (*chunk.Chunk, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.entries[k]
 	if !ok {
 		return nil, false
@@ -207,6 +227,8 @@ func (c *Cache) Peek(k Key) (*chunk.Chunk, bool) {
 // chunk larger than the whole cache is not admitted, and an oversized
 // replacement leaves the old entry resident.
 func (c *Cache) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	need := data.Bytes()
 	if need > c.capacity {
 		c.stats.Denied++
@@ -268,6 +290,8 @@ func (c *Cache) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool
 // Evict removes k if resident; used by tests and administrative tooling.
 // Explicit removals count as Stats.Removals, not Stats.Evictions.
 func (c *Cache) Evict(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.entries[k]
 	if !ok {
 		return false
@@ -300,6 +324,8 @@ func (c *Cache) remove(e *Entry, policyEvict bool) {
 // Pin marks k in use so the policy will not evict it; it must be balanced by
 // Unpin. Pinning a non-resident key returns false.
 func (c *Cache) Pin(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.entries[k]
 	if !ok {
 		c.met.PinFailures.Inc()
@@ -311,6 +337,8 @@ func (c *Cache) Pin(k Key) bool {
 
 // Unpin releases one pin on k.
 func (c *Cache) Unpin(k Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if e, ok := c.entries[k]; ok && e.pins > 0 {
 		e.pins--
 	}
@@ -322,6 +350,8 @@ func (c *Cache) Unpin(k Key) {
 // the chunks in the group is incremented by ... the benefit of the
 // aggregated chunk").
 func (c *Cache) Reinforce(keys []Key, benefit float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, k := range keys {
 		if e, ok := c.entries[k]; ok {
 			c.policy.Reinforced(e, benefit)
@@ -331,6 +361,8 @@ func (c *Cache) Reinforce(keys []Key, benefit float64) {
 
 // Keys appends all resident keys to dst; order is unspecified.
 func (c *Cache) Keys(dst []Key) []Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for k := range c.entries {
 		dst = append(dst, k)
 	}
@@ -339,8 +371,10 @@ func (c *Cache) Keys(dst []Key) []Key {
 
 // Range calls fn for every resident entry (order unspecified) with the
 // entry's payload, class and benefit; used for snapshots and diagnostics.
-// fn must not mutate the cache.
+// fn runs under the cache lock and must not call back into the cache.
 func (c *Cache) Range(fn func(k Key, data *chunk.Chunk, cl Class, benefit float64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for k, e := range c.entries {
 		fn(k, e.Data, e.Class, e.Benefit)
 	}

@@ -39,6 +39,9 @@ func (p *LRU) NextVictim(Class) *Entry {
 	return nil
 }
 
+// Fork implements Forker.
+func (p *LRU) Fork() Policy { return NewLRU() }
+
 func (p *LRU) pushFront(e *Entry) {
 	e.prev = nil
 	e.next = p.head

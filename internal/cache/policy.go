@@ -124,6 +124,9 @@ func (p *BenefitClock) Reinforced(e *Entry, benefit float64) { p.Accessed(e) }
 // NextVictim implements Policy; class is ignored by the baseline.
 func (p *BenefitClock) NextVictim(Class) *Entry { return p.r.sweep() }
 
+// Fork implements Forker.
+func (p *BenefitClock) Fork() Policy { return NewBenefitClock() }
+
 // TwoLevel is the paper's replacement policy (§6.3):
 //
 //   - backend chunks have priority: they may replace cache-computed chunks
@@ -191,3 +194,6 @@ func (p *TwoLevel) NextVictim(cl Class) *Entry {
 	}
 	return p.backend.sweep()
 }
+
+// Fork implements Forker.
+func (p *TwoLevel) Fork() Policy { return NewTwoLevel() }

@@ -1,0 +1,194 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+
+	"aggcache/internal/chunk"
+	"aggcache/internal/obs"
+)
+
+// Store is the chunk-cache contract the rest of the system programs against.
+// It captures the full surface the engine, the lookup strategies, snapshots
+// and the daemons need, so any implementation — the single-lock reference
+// [Cache] or the lock-striped [Sharded] — can sit behind the middle tier.
+//
+// Locking contract: implementations synchronize internally; callers never
+// wrap Store calls in an external lock. Listener and Policy callbacks fire
+// synchronously while the store holds the internal lock covering the affected
+// key, so they must be fast and must not call back into the same Store (that
+// would self-deadlock). Chunk payloads (*chunk.Chunk) are immutable, so a
+// payload pointer returned by Get/Peek/Range may be read after the call
+// returns; pin the key first if the payload must stay resident while you use
+// it.
+type Store interface {
+	// Get returns the chunk payload for k, updating replacement state and
+	// hit/miss counters.
+	Get(k Key) (*chunk.Chunk, bool)
+	// Peek returns the chunk payload without touching replacement state or
+	// hit/miss counters.
+	Peek(k Key) (*chunk.Chunk, bool)
+	// Insert makes data resident under k, evicting per the policy as needed,
+	// and reports whether the chunk was admitted. See Cache.Insert for the
+	// replacement semantics every implementation follows.
+	Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool
+	// Evict removes k if resident (administrative removal, not a policy
+	// eviction).
+	Evict(k Key) bool
+	// Pin marks k in use so the policy will not evict it; it must be
+	// balanced by Unpin. Pinning a non-resident key returns false.
+	Pin(k Key) bool
+	// Unpin releases one pin on k.
+	Unpin(k Key)
+	// Reinforce bumps the replacement weight of every listed resident chunk
+	// by benefit (two-level policy group maintenance, §6.3).
+	Reinforce(keys []Key, benefit float64)
+	// Contains reports residence without touching replacement state.
+	Contains(k Key) bool
+	// Keys appends all resident keys to dst; order is unspecified.
+	Keys(dst []Key) []Key
+	// Range calls fn for every resident entry (order unspecified). fn runs
+	// under the store's internal lock(s) and must not call back into the
+	// store.
+	Range(fn func(k Key, data *chunk.Chunk, cl Class, benefit float64))
+	// Stats returns a consistent copy of the activity counters.
+	Stats() Stats
+	// Capacity returns the byte bound.
+	Capacity() int64
+	// Used returns the bytes currently charged.
+	Used() int64
+	// Len returns the number of resident chunks.
+	Len() int
+	// SetListener registers the strategy callback; pass nil to clear. Call
+	// it before the store serves traffic.
+	SetListener(l Listener)
+	// SetMetrics attaches live observability metrics; call it before the
+	// store serves traffic.
+	SetMetrics(m obs.CacheMetrics)
+	// Policy exposes a replacement policy for reporting (Name). On a
+	// sharded store this is one representative shard's instance.
+	Policy() Policy
+}
+
+// Forker is implemented by replacement policies that can produce fresh,
+// state-free instances of themselves. A sharded store needs one policy
+// instance per shard (policies are stateful and synchronized by their shard's
+// lock), so New requires the seed policy to implement Forker — or an explicit
+// WithPolicyFactory — whenever more than one shard is requested. TwoLevel,
+// BenefitClock and LRU all implement it.
+type Forker interface {
+	// Fork returns a new empty policy of the same kind and configuration.
+	Fork() Policy
+}
+
+// MaxShards bounds the shard count; 64 keeps Reinforce's shard grouping a
+// single uint64 bitmask and is far beyond the core counts this tier runs on.
+const MaxShards = 64
+
+// config collects the options shared by New's implementations.
+type config struct {
+	shards   int // 0 = single-lock store; -1 = auto (GOMAXPROCS rounded up)
+	factory  func() Policy
+	listener Listener
+	metrics  *obs.CacheMetrics
+}
+
+// Option configures New. Options are applied in order; later options win.
+type Option func(*config)
+
+// WithShards selects the lock-striped implementation with n shards, rounded
+// up to a power of two and capped at MaxShards. n = 1 selects the single-lock
+// reference store (the default). n = 0 means "auto": GOMAXPROCS rounded up to
+// a power of two.
+func WithShards(n int) Option {
+	return func(c *config) {
+		if n == 0 {
+			c.shards = -1
+			return
+		}
+		c.shards = n
+	}
+}
+
+// WithPolicyFactory supplies fresh policy instances for the extra shards of a
+// sharded store, for policies that do not implement Forker. The seed policy
+// passed to New serves shard 0; the factory builds the rest.
+func WithPolicyFactory(f func() Policy) Option {
+	return func(c *config) { c.factory = f }
+}
+
+// WithListener registers the insert/evict listener at construction time,
+// replacing a later SetListener call.
+func WithListener(l Listener) Option {
+	return func(c *config) { c.listener = l }
+}
+
+// WithMetrics attaches the live-metrics bundle at construction time,
+// replacing a later SetMetrics call.
+func WithMetrics(m obs.CacheMetrics) Option {
+	return func(c *config) { c.metrics = &m }
+}
+
+// New creates a chunk store bounded to capacity bytes using the given
+// replacement policy. By default it returns the single-lock reference
+// implementation; WithShards selects the lock-striped one. The policy must
+// implement Forker (or a WithPolicyFactory must be given) when more than one
+// shard is requested.
+func New(capacity int64, policy Policy, opts ...Option) (Store, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cache: capacity must be positive, got %d", capacity)
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("cache: policy must not be nil")
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := cfg.shards
+	if n < 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n <= 1 {
+		c := &Cache{capacity: capacity, entries: make(map[Key]*Entry), policy: policy}
+		if cfg.listener != nil {
+			c.SetListener(cfg.listener)
+		}
+		if cfg.metrics != nil {
+			c.SetMetrics(*cfg.metrics)
+		}
+		return c, nil
+	}
+	n = nextPow2(n)
+	if n > MaxShards {
+		n = MaxShards
+	}
+	factory := cfg.factory
+	if factory == nil {
+		f, ok := policy.(Forker)
+		if !ok {
+			return nil, fmt.Errorf("cache: policy %s cannot be forked across %d shards (implement Forker or pass WithPolicyFactory)", policy.Name(), n)
+		}
+		factory = f.Fork
+	}
+	s, err := newSharded(capacity, n, policy, factory)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.listener != nil {
+		s.SetListener(cfg.listener)
+	}
+	if cfg.metrics != nil {
+		s.SetMetrics(*cfg.metrics)
+	}
+	return s, nil
+}
+
+// nextPow2 rounds n up to the next power of two.
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"aggcache/internal/apb"
@@ -31,13 +32,13 @@ func buildBypass(t *testing.T, enabled bool) (*fixture, *backend.Engine) {
 	}
 	sz := sizer.NewEstimate(g, int64(tab.Len()))
 	c, _ := cache.New(1<<20, cache.NewTwoLevel())
-	eng, err := New(g, c, strategy.NewVCMC(g, sz), be, sz, Options{
-		CostBypass: enabled,
+	eng, err := New(g, c, strategy.NewVCMC(g, sz), be, sz,
+		WithCostBypass(enabled),
 		// A tiny connect surcharge so long in-cache aggregations lose to the
 		// materialized backend.
-		ConnectCostUnits: 1,
-		BackendPenalty:   8,
-	})
+		WithConnectCost(1),
+		WithBackendPenalty(8),
+	)
 	if err != nil {
 		t.Fatalf("core.New: %v", err)
 	}
@@ -49,10 +50,10 @@ func TestCostBypassRoutesToMaterializedBackend(t *testing.T) {
 	lat := f.grid.Lattice()
 	// Warm the cache with the base table: the top chunk becomes computable
 	// in-cache, but only by aggregating every base tuple.
-	if _, err := f.engine.Execute(WholeGroupBy(lat.Base())); err != nil {
+	if _, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Base())); err != nil {
 		t.Fatalf("warm: %v", err)
 	}
-	res, err := f.engine.Execute(WholeGroupBy(lat.Top()))
+	res, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Top()))
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
@@ -72,10 +73,10 @@ func TestCostBypassRoutesToMaterializedBackend(t *testing.T) {
 func TestCostBypassOffStaysInCache(t *testing.T) {
 	f, _ := buildBypass(t, false)
 	lat := f.grid.Lattice()
-	if _, err := f.engine.Execute(WholeGroupBy(lat.Base())); err != nil {
+	if _, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Base())); err != nil {
 		t.Fatalf("warm: %v", err)
 	}
-	res, err := f.engine.Execute(WholeGroupBy(lat.Top()))
+	res, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Top()))
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
@@ -90,10 +91,10 @@ func TestCostBypassKeepsCheapPlansInCache(t *testing.T) {
 	// Cache a small aggregate level directly; queries one step up have
 	// cheap in-cache plans that must NOT be bypassed.
 	mid := lat.MustID(1, 1, 0)
-	if _, err := f.engine.Execute(WholeGroupBy(mid)); err != nil {
+	if _, err := f.engine.Execute(context.Background(), WholeGroupBy(mid)); err != nil {
 		t.Fatalf("warm: %v", err)
 	}
-	res, err := f.engine.Execute(WholeGroupBy(lat.MustID(0, 1, 0)))
+	res, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.MustID(0, 1, 0)))
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}

@@ -43,7 +43,7 @@ func buildChaosEngines(t *testing.T, plan backend.FaultPlan, bcfg backend.Breake
 		if err != nil {
 			t.Fatalf("cache.New: %v", err)
 		}
-		eng, err := core.New(g, c, strategy.NewVCMC(g, sz), b, sz, core.Options{})
+		eng, err := core.New(g, c, strategy.NewVCMC(g, sz), b, sz)
 		if err != nil {
 			t.Fatalf("core.New: %v", err)
 		}
@@ -87,7 +87,7 @@ func TestChaosSoak(t *testing.T) {
 	}
 	want := make([]answer, len(queries))
 	for i, q := range queries {
-		res, err := reference.Execute(q)
+		res, err := reference.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatalf("reference query %d: %v", i, err)
 		}
@@ -117,7 +117,7 @@ func TestChaosSoak(t *testing.T) {
 					faulty.SetDown(false)
 				}
 				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-				res, err := subject.ExecuteContext(ctx, queries[i])
+				res, err := subject.Execute(ctx, queries[i])
 				cancel()
 				if err != nil {
 					// Failure is acceptable under chaos, but only as a
@@ -175,7 +175,7 @@ func TestDegradedModeCacheOnly(t *testing.T) {
 	// Warm the cache with the top group-by, answerable thereafter without
 	// the backend.
 	warm := core.WholeGroupBy(lat.Top())
-	if _, err := subject.Execute(warm); err != nil {
+	if _, err := subject.Execute(context.Background(), warm); err != nil {
 		t.Fatalf("warm query: %v", err)
 	}
 	if subject.Degraded() {
@@ -186,7 +186,7 @@ func TestDegradedModeCacheOnly(t *testing.T) {
 	faulty.SetDown(true)
 	miss := core.WholeGroupBy(lat.Base())
 	for i := 0; i < bcfg.FailureThreshold; i++ {
-		if _, err := subject.Execute(miss); err == nil {
+		if _, err := subject.Execute(context.Background(), miss); err == nil {
 			t.Fatalf("query against down backend succeeded")
 		}
 	}
@@ -198,12 +198,12 @@ func TestDegradedModeCacheOnly(t *testing.T) {
 	}
 
 	// Cache-computable queries all still succeed, marked degraded, correct.
-	wantRes, err := reference.Execute(warm)
+	wantRes, err := reference.Execute(context.Background(), warm)
 	if err != nil {
 		t.Fatalf("reference: %v", err)
 	}
 	for i := 0; i < 10; i++ {
-		res, err := subject.Execute(warm)
+		res, err := subject.Execute(context.Background(), warm)
 		if err != nil {
 			t.Fatalf("degraded cached query %d: %v", i, err)
 		}
@@ -223,7 +223,7 @@ func TestDegradedModeCacheOnly(t *testing.T) {
 	const timeout = time.Second
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	_, err = subject.ExecuteContext(ctx, miss)
+	_, err = subject.Execute(ctx, miss)
 	cancel()
 	if !errors.Is(err, core.ErrBackendUnavailable) {
 		t.Fatalf("backend-requiring query error = %v, want ErrBackendUnavailable", err)
@@ -239,7 +239,7 @@ func TestDegradedModeCacheOnly(t *testing.T) {
 	// the half-open probe and closes the breaker.
 	faulty.SetDown(false)
 	time.Sleep(bcfg.Cooldown + 10*time.Millisecond)
-	res, err := subject.Execute(miss)
+	res, err := subject.Execute(context.Background(), miss)
 	if err != nil {
 		t.Fatalf("query after recovery: %v", err)
 	}

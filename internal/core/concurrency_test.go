@@ -31,7 +31,7 @@ func TestPinFallbackTreatsChunkAsMiss(t *testing.T) {
 	f.engine.Strategy().OnInsert(&cache.Entry{
 		Key: cache.Key{GB: top, Num: 0}, Data: payload[0], Class: cache.ClassBackend,
 	})
-	res, err := f.engine.Execute(WholeGroupBy(top))
+	res, err := f.engine.Execute(context.Background(), WholeGroupBy(top))
 	if err != nil {
 		t.Fatalf("query failed on a desynced plan leaf: %v", err)
 	}
@@ -66,7 +66,7 @@ func TestSingleflightDedupesIdenticalFetches(t *testing.T) {
 	gb := &gatedBackend{Backend: base.oracle, started: make(chan struct{}), release: make(chan struct{})}
 	sz := sizer.NewEstimate(base.grid, 1000)
 	c, _ := cache.New(1<<20, cache.NewTwoLevel())
-	eng, err := New(base.grid, c, strategy.NewVCMC(base.grid, sz), gb, sz, Options{})
+	eng, err := New(base.grid, c, strategy.NewVCMC(base.grid, sz), gb, sz)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -81,7 +81,7 @@ func TestSingleflightDedupesIdenticalFetches(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := eng.Execute(q)
+			res, err := eng.Execute(context.Background(), q)
 			if err != nil {
 				errs <- err
 				return
@@ -114,7 +114,7 @@ func TestSingleflightDedupesIdenticalFetches(t *testing.T) {
 func TestCostBypassUnderConcurrency(t *testing.T) {
 	f, _ := buildBypass(t, true)
 	lat := f.grid.Lattice()
-	if _, err := f.engine.Execute(WholeGroupBy(lat.Base())); err != nil {
+	if _, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Base())); err != nil {
 		t.Fatalf("warm: %v", err)
 	}
 	const n = 8
@@ -125,7 +125,7 @@ func TestCostBypassUnderConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := f.engine.Execute(WholeGroupBy(lat.Top()))
+			res, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Top()))
 			if err != nil {
 				errs <- err
 				return

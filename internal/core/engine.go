@@ -19,39 +19,70 @@ import (
 	"aggcache/internal/strategy"
 )
 
-// Options tunes the engine.
-type Options struct {
-	// BackendPenalty scales backend tuples into benefit cost units relative
-	// to in-cache aggregation — the paper measured backend computation to be
-	// about 8× slower (§7.1). Defaults to 8.
-	BackendPenalty float64
-	// ConnectCostUnits is the per-backend-request fixed benefit surcharge in
-	// cost units (tuples-equivalent). Defaults to 4000.
-	ConnectCostUnits float64
-	// InsertIntermediates also caches the interior chunks a plan
-	// materializes, not just the final one. Off by default (the paper caches
-	// the newly computed chunk).
-	InsertIntermediates bool
-	// DisableReinforce turns off group reinforcement (§6.3 second bullet);
-	// used by the ablation experiments.
-	DisableReinforce bool
-	// CostBypass enables the cost-based optimizer hook of §5.2: when a plan
-	// carries an in-cache aggregation cost (VCMC and ESMC plans do) that
-	// exceeds the backend's estimated cost in the same units, the chunk is
-	// fetched from the backend instead. Useful when the backend holds
-	// materialized aggregates (backend.Engine.Materialize) that make it
-	// cheaper than a long in-cache aggregation.
-	CostBypass bool
+// options collects the engine tunables; construct through the With…
+// functional options on New.
+type options struct {
+	backendPenalty      float64
+	connectCostUnits    float64
+	insertIntermediates bool
+	disableReinforce    bool
+	costBypass          bool
+	metrics             *obs.EngineMetrics
 }
 
-func (o Options) withDefaults() Options {
-	if o.BackendPenalty <= 0 {
-		o.BackendPenalty = 8
+// Option tunes the engine at construction time. Options are applied in
+// order; later options win.
+type Option func(*options)
+
+// WithBackendPenalty scales backend tuples into benefit cost units relative
+// to in-cache aggregation — the paper measured backend computation to be
+// about 8× slower (§7.1). The default is 8; non-positive values keep it.
+func WithBackendPenalty(p float64) Option {
+	return func(o *options) {
+		if p > 0 {
+			o.backendPenalty = p
+		}
 	}
-	if o.ConnectCostUnits <= 0 {
-		o.ConnectCostUnits = 4000
+}
+
+// WithConnectCost sets the per-backend-request fixed benefit surcharge in
+// cost units (tuples-equivalent). The default is 4000; non-positive values
+// keep it.
+func WithConnectCost(units float64) Option {
+	return func(o *options) {
+		if units > 0 {
+			o.connectCostUnits = units
+		}
 	}
-	return o
+}
+
+// WithInsertIntermediates(true) also caches the interior chunks a plan
+// materializes, not just the final one. Off by default (the paper caches the
+// newly computed chunk).
+func WithInsertIntermediates(on bool) Option {
+	return func(o *options) { o.insertIntermediates = on }
+}
+
+// WithReinforce(false) turns off group reinforcement (§6.3 second bullet);
+// used by the ablation experiments. On by default.
+func WithReinforce(on bool) Option {
+	return func(o *options) { o.disableReinforce = !on }
+}
+
+// WithCostBypass enables the cost-based optimizer hook of §5.2: when a plan
+// carries an in-cache aggregation cost (VCMC and ESMC plans do) that exceeds
+// the backend's estimated cost in the same units, the chunk is fetched from
+// the backend instead. Useful when the backend holds materialized aggregates
+// (backend.Engine.Materialize) that make it cheaper than a long in-cache
+// aggregation.
+func WithCostBypass(on bool) Option {
+	return func(o *options) { o.costBypass = on }
+}
+
+// WithMetrics attaches the live-metrics bundle at construction time,
+// replacing a later SetMetrics call.
+func WithMetrics(m obs.EngineMetrics) Option {
+	return func(o *options) { o.metrics = &m }
 }
 
 // ErrBackendUnavailable is the typed error a query fails fast with when it
@@ -119,24 +150,23 @@ func (s *engineStats) snapshot() Stats {
 }
 
 // Engine is the aggregate aware cache manager. It is safe for concurrent
-// use, and queries genuinely overlap: mu — the cache lock — guards the
-// cache and the strategy's summary state and is held only for the short
-// lookup/pin, payload-snapshot and insert sections of a query. The backend
-// round trip and the in-cache aggregation run outside it, with the plan's
-// leaves pinned so the replacement policy cannot evict an input mid-flight.
-// Identical concurrent backend chunk fetches are deduplicated through
-// flights, and independent planned chunks of one query aggregate in
-// parallel across a GOMAXPROCS-bounded worker pool.
+// use, and queries genuinely overlap: the engine itself holds no lock — the
+// cache store and the lookup strategy each synchronize internally (a sharded
+// store stripes its locking per shard, so concurrent queries touching
+// different shards never contend). The backend round trip and the in-cache
+// aggregation run with the plan's leaves pinned so the replacement policy
+// cannot evict an input mid-flight. Identical concurrent backend chunk
+// fetches are deduplicated through flights, and independent planned chunks
+// of one query aggregate in parallel across a GOMAXPROCS-bounded worker
+// pool.
 type Engine struct {
 	grid  *chunk.Grid
 	lat   *lattice.Lattice
 	back  backend.Backend
 	sizes sizer.Sizer
-	opts  Options
+	opts  options
 
-	// mu is the cache lock; it serializes every cache and strategy call.
-	mu    sync.Mutex
-	cache *cache.Cache
+	cache cache.Store
 	strat strategy.Strategy
 
 	flights flightGroup
@@ -151,12 +181,17 @@ type Engine struct {
 	avail interface{ State() backend.BreakerState }
 }
 
-// New wires a cache, a lookup strategy and a backend into an engine. The
-// strategy is registered as the cache's listener; the cache must be empty
+// New wires a cache store, a lookup strategy and a backend into an engine,
+// tuned by functional options (WithCostBypass, WithReinforce, …). The
+// strategy is registered as the store's listener; the store must be empty
 // (or have been populated through the same strategy).
-func New(g *chunk.Grid, c *cache.Cache, s strategy.Strategy, b backend.Backend, sizes sizer.Sizer, opts Options) (*Engine, error) {
+func New(g *chunk.Grid, c cache.Store, s strategy.Strategy, b backend.Backend, sizes sizer.Sizer, opts ...Option) (*Engine, error) {
 	if g == nil || c == nil || s == nil || b == nil || sizes == nil {
 		return nil, errors.New("core: all of grid, cache, strategy, backend and sizer are required")
+	}
+	o := options{backendPenalty: 8, connectCostUnits: 4000}
+	for _, opt := range opts {
+		opt(&o)
 	}
 	c.SetListener(s)
 	e := &Engine{
@@ -166,8 +201,11 @@ func New(g *chunk.Grid, c *cache.Cache, s strategy.Strategy, b backend.Backend, 
 		strat:   s,
 		back:    b,
 		sizes:   sizes,
-		opts:    opts.withDefaults(),
+		opts:    o,
 		flights: flightGroup{m: make(map[flightKey]*flightCall)},
+	}
+	if o.metrics != nil {
+		e.met = *o.metrics
 	}
 	if a, ok := b.(interface{ State() backend.BreakerState }); ok {
 		e.avail = a
@@ -178,8 +216,9 @@ func New(g *chunk.Grid, c *cache.Cache, s strategy.Strategy, b backend.Backend, 
 // Grid returns the engine's chunk grid.
 func (e *Engine) Grid() *chunk.Grid { return e.grid }
 
-// Cache returns the underlying cache (for inspection; treat as read-only).
-func (e *Engine) Cache() *cache.Cache { return e.cache }
+// Cache returns the underlying cache store (for inspection; treat as
+// read-only).
+func (e *Engine) Cache() cache.Store { return e.cache }
 
 // Strategy returns the lookup strategy.
 func (e *Engine) Strategy() strategy.Strategy { return e.strat }
@@ -189,6 +228,8 @@ func (e *Engine) Stats() Stats { return e.stats.snapshot() }
 
 // SetMetrics attaches live observability metrics. Call it after New and
 // before the first Execute; it is not synchronized with queries in flight.
+//
+// Deprecated: pass WithMetrics to New instead.
 func (e *Engine) SetMetrics(m obs.EngineMetrics) { e.met = m }
 
 // Degraded reports whether the engine is in cache-only degraded mode: its
@@ -227,16 +268,12 @@ type aggOut struct {
 // the backend, aggregate the computable chunks in the cache, and assemble
 // the answer. Concurrent calls overlap; see the Engine doc for the locking
 // structure.
-func (e *Engine) Execute(q Query) (*Result, error) {
-	return e.ExecuteContext(context.Background(), q)
-}
-
-// ExecuteContext is Execute with a caller-supplied context: the backend
-// phase (and follower waits on shared flights) aborts promptly when the
-// context is cancelled or its deadline passes, so a hung backend hangs no
+//
+// The backend phase (and follower waits on shared flights) aborts promptly
+// when ctx is cancelled or its deadline passes, so a hung backend hangs no
 // query past its budget. Cache-only work is not interrupted — it completes
 // in microseconds and an answer already paid for is worth returning.
-func (e *Engine) ExecuteContext(ctx context.Context, q Query) (*Result, error) {
+func (e *Engine) Execute(ctx context.Context, q Query) (*Result, error) {
 	res, err := e.execute(ctx, q)
 	if err != nil {
 		e.met.QueryErrors.Inc()
@@ -251,7 +288,14 @@ func (e *Engine) ExecuteContext(ctx context.Context, q Query) (*Result, error) {
 	return res, err
 }
 
-// execute is ExecuteContext without the error accounting wrapper.
+// ExecuteContext answers one query with a caller-supplied context.
+//
+// Deprecated: Execute is context-first now; call Execute(ctx, q) directly.
+func (e *Engine) ExecuteContext(ctx context.Context, q Query) (*Result, error) {
+	return e.Execute(ctx, q)
+}
+
+// execute is Execute without the error accounting wrapper.
 func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 	nq, err := q.normalize(e.grid)
 	if err != nil {
@@ -267,14 +311,12 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 
 	// Whatever happens below, release every pin still held on exit.
 	defer func() {
-		e.mu.Lock()
 		for _, p := range plans {
 			e.unpinAll(p.leaves)
 		}
 		for _, p := range bypass {
 			e.unpinAll(p.leaves)
 		}
-		e.mu.Unlock()
 	}()
 
 	// Phase 1 — lookup: one strategy probe per chunk (the paper's cache
@@ -282,7 +324,6 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 	// ours or a concurrent query's — cannot evict an input.
 	lookupStart := time.Now()
 	var lookupErr error
-	e.mu.Lock()
 	for i, num := range nums {
 		plan, found, err := e.strat.Find(nq.GB, num)
 		switch {
@@ -304,35 +345,35 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 		}
 		p := &planned{idx: i, plan: plan, leaves: plan.Leaves(nil)}
 		if !e.pinAll(p.leaves) {
-			// A leaf the strategy believed resident is gone (the strategy
-			// and the cache are updated under the same lock, so this is
-			// defensive). Fall back to fetching the chunk, not failing the
-			// query.
+			// A leaf the strategy believed resident was evicted between the
+			// lookup and the pin (the strategy's summary state and the cache
+			// are updated under different locks, so a brief window exists).
+			// Fall back to fetching the chunk, not failing the query.
 			missing = append(missing, num)
 			missingIdx = append(missingIdx, i)
 			continue
 		}
-		if e.opts.CostBypass && plan.Cost > int64(e.opts.ConnectCostUnits) {
+		if e.opts.costBypass && plan.Cost > int64(e.opts.connectCostUnits) {
 			// §5.2 optimizer: only worth a backend estimate when the plan
 			// is at least as expensive as a backend round trip. The
-			// estimate itself is a backend call, so it runs after unlock.
+			// estimate itself is a backend call, so it runs after the
+			// lookup loop.
 			bypass = append(bypass, p)
 		} else {
 			plans = append(plans, p)
 		}
 	}
-	e.mu.Unlock()
 	if lookupErr != nil {
 		return nil, lookupErr
 	}
 
 	// Phase 1b — resolve bypass candidates against the backend's estimated
-	// cost, outside the cache lock; demoted chunks join the miss list.
+	// cost; demoted chunks join the miss list.
 	if len(bypass) > 0 {
 		var demoted []*planned
 		for _, p := range bypass {
 			est, eerr := e.back.EstimateScan(ctx, nq.GB, []int{nums[p.idx]})
-			if eerr == nil && float64(p.plan.Cost) > float64(est)*e.opts.BackendPenalty+e.opts.ConnectCostUnits {
+			if eerr == nil && float64(p.plan.Cost) > float64(est)*e.opts.backendPenalty+e.opts.connectCostUnits {
 				demoted = append(demoted, p)
 			} else {
 				plans = append(plans, p)
@@ -340,14 +381,12 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 		}
 		bypass = nil
 		if len(demoted) > 0 {
-			e.mu.Lock()
 			for _, p := range demoted {
 				e.unpinAll(p.leaves)
 				p.leaves = nil
 				missing = append(missing, nums[p.idx])
 				missingIdx = append(missingIdx, p.idx)
 			}
-			e.mu.Unlock()
 			res.Bypassed += len(demoted)
 			e.stats.bypassed.Add(int64(len(demoted)))
 			e.met.Bypassed.Add(int64(len(demoted)))
@@ -365,8 +404,7 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 
 	// Phase 2 — backend: one batched request for all missing chunks (the
 	// paper issues one SQL statement for the missing chunk numbers),
-	// deduplicated against identical in-flight fetches and issued outside
-	// the cache lock.
+	// deduplicated against identical in-flight fetches.
 	if len(missing) > 0 {
 		if err := e.fetchMissing(ctx, nq.GB, missing, missingIdx, res, 0); err != nil {
 			return nil, err
@@ -374,20 +412,17 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 	}
 
 	// Phase 3 — aggregate computable chunks. 3a snapshots the pinned leaf
-	// payloads under the lock (chunk payloads are immutable, so the
-	// pointers stay valid outside it); 3b aggregates lock-free across a
-	// bounded worker pool; 3c installs the computed chunks and reinforces
-	// their input groups under the lock.
+	// payloads (chunk payloads are immutable, so the pointers stay valid
+	// after each Get returns); 3b aggregates across a bounded worker pool;
+	// 3c installs the computed chunks and reinforces their input groups.
 	if len(plans) > 0 {
 		leafData := make(map[cache.Key]*chunk.Chunk)
 		var snapErr error
-		e.mu.Lock()
 		for _, p := range plans {
 			if snapErr = e.snapshotLeaves(p.plan, leafData); snapErr != nil {
 				break
 			}
 		}
-		e.mu.Unlock()
 		if snapErr != nil {
 			return nil, snapErr
 		}
@@ -423,7 +458,6 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 			}
 		}
 
-		e.mu.Lock()
 		m0 := e.strat.Maintenance()
 		for i, out := range outs {
 			p := plans[i]
@@ -437,15 +471,16 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 			}
 			benefit := float64(out.tuples)
 			e.cache.Insert(cache.Key{GB: nq.GB, Num: int32(p.plan.Num)}, out.data, cache.ClassComputed, benefit)
-			if !e.opts.DisableReinforce {
+			if !e.opts.disableReinforce {
 				e.cache.Reinforce(p.leaves, benefit)
 			}
 		}
 		m1 := e.strat.Maintenance()
-		e.mu.Unlock()
-		// Both snapshots were taken while holding the cache lock, so the
-		// delta is exactly this query's maintenance work (Figure 10's
-		// "update" component) even with other queries in flight.
+		// The delta attributes this query's insert maintenance (Figure 10's
+		// "update" component). With other queries inserting concurrently the
+		// window can include some of their work, so under concurrency the
+		// attribution is approximate; the cumulative engine totals stay
+		// exact.
 		res.Breakdown.Update += m1.Sub(m0).Time
 	}
 
@@ -504,7 +539,7 @@ func (e *Engine) observe(res *Result) {
 }
 
 // pinAll pins every key, rolling back already-taken pins on the first
-// failure. The caller must hold e.mu.
+// failure.
 func (e *Engine) pinAll(keys []cache.Key) bool {
 	for i, k := range keys {
 		if !e.cache.Pin(k) {
@@ -517,7 +552,7 @@ func (e *Engine) pinAll(keys []cache.Key) bool {
 	return true
 }
 
-// unpinAll releases one pin per key. The caller must hold e.mu.
+// unpinAll releases one pin per key.
 func (e *Engine) unpinAll(keys []cache.Key) {
 	for _, k := range keys {
 		e.cache.Unpin(k)
@@ -526,7 +561,7 @@ func (e *Engine) unpinAll(keys []cache.Key) {
 
 // snapshotLeaves records the payload of every present leaf of the plan,
 // counting one cache hit per leaf occurrence as the serial engine did. The
-// caller must hold e.mu; the leaves are pinned, so a missing one is a bug.
+// leaves are pinned, so a missing one is a bug.
 func (e *Engine) snapshotLeaves(p *strategy.Plan, m map[cache.Key]*chunk.Chunk) error {
 	if p.Present {
 		k := cache.Key{GB: p.GB, Num: int32(p.Num)}
@@ -553,7 +588,7 @@ func (e *Engine) runPlan(p *strategy.Plan, leafData map[cache.Key]*chunk.Chunk) 
 }
 
 // aggregate executes a plan bottom-up from the snapshotted leaf payloads —
-// pure computation over immutable chunks, safe outside the cache lock.
+// pure computation over immutable chunks, touching no shared state.
 // Interior results are collected (bottom-up) into out.inter for insertion
 // under the lock when InsertIntermediates is on.
 //
@@ -590,7 +625,7 @@ func (e *Engine) aggregate(p *strategy.Plan, leafData map[cache.Key]*chunk.Chunk
 		}
 		tuples += int64(scanned)
 	}
-	if root || e.opts.InsertIntermediates {
+	if root || e.opts.insertIntermediates {
 		data = cm.Build(p.GB, p.Num)
 		if !root {
 			out.inter = append(out.inter, computed{key: k, data: data, tuples: tuples})

@@ -44,14 +44,14 @@ func TestBackendFailureSurfacesAndRecovers(t *testing.T) {
 	fb := &flakyBackend{Backend: base.oracle}
 	sz := sizer.NewEstimate(base.grid, 1000)
 	c, _ := cache.New(1<<20, cache.NewTwoLevel())
-	eng, err := New(base.grid, c, strategy.NewVCMC(base.grid, sz), fb, sz, Options{})
+	eng, err := New(base.grid, c, strategy.NewVCMC(base.grid, sz), fb, sz)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
 	lat := base.grid.Lattice()
 
 	fb.fail = true
-	if _, err := eng.Execute(WholeGroupBy(lat.Base())); !errors.Is(err, errInjected) {
+	if _, err := eng.Execute(context.Background(), WholeGroupBy(lat.Base())); !errors.Is(err, errInjected) {
 		t.Fatalf("err = %v, want injected failure", err)
 	}
 	st := eng.Stats()
@@ -60,7 +60,7 @@ func TestBackendFailureSurfacesAndRecovers(t *testing.T) {
 	}
 
 	fb.fail = false
-	res, err := eng.Execute(WholeGroupBy(lat.Base()))
+	res, err := eng.Execute(context.Background(), WholeGroupBy(lat.Base()))
 	if err != nil {
 		t.Fatalf("Execute after recovery: %v", err)
 	}
@@ -68,7 +68,7 @@ func TestBackendFailureSurfacesAndRecovers(t *testing.T) {
 		t.Fatalf("no cells after recovery")
 	}
 	// Aggregates still work on the recovered cache.
-	res, err = eng.Execute(WholeGroupBy(lat.Top()))
+	res, err = eng.Execute(context.Background(), WholeGroupBy(lat.Top()))
 	if err != nil || !res.CompleteHit {
 		t.Fatalf("aggregate after recovery: %v %+v", err, res)
 	}
@@ -93,7 +93,7 @@ func TestEngineConcurrentExecute(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
 				q := queries[(w+i)%len(queries)]
-				res, err := f.engine.Execute(q)
+				res, err := f.engine.Execute(context.Background(), q)
 				if err != nil {
 					errs <- err
 					return
@@ -111,7 +111,7 @@ func TestEngineConcurrentExecute(t *testing.T) {
 		t.Fatalf("concurrent execute: %v", err)
 	}
 	// Post-run correctness spot check.
-	res, err := f.engine.Execute(WholeGroupBy(lat.Top()))
+	res, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Top()))
 	if err != nil {
 		t.Fatalf("final: %v", err)
 	}
@@ -124,15 +124,15 @@ func TestInsertIntermediates(t *testing.T) {
 	cfgFix := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
 	sz := sizer.NewEstimate(cfgFix.grid, 1000)
 	c, _ := cache.New(1<<20, cache.NewTwoLevel())
-	eng, err := New(cfgFix.grid, c, strategy.NewVCMC(cfgFix.grid, sz), cfgFix.oracle, sz, Options{InsertIntermediates: true})
+	eng, err := New(cfgFix.grid, c, strategy.NewVCMC(cfgFix.grid, sz), cfgFix.oracle, sz, WithInsertIntermediates(true))
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
 	lat := cfgFix.grid.Lattice()
-	if _, err := eng.Execute(WholeGroupBy(lat.Base())); err != nil {
+	if _, err := eng.Execute(context.Background(), WholeGroupBy(lat.Base())); err != nil {
 		t.Fatalf("warm: %v", err)
 	}
-	if _, err := eng.Execute(WholeGroupBy(lat.Top())); err != nil {
+	if _, err := eng.Execute(context.Background(), WholeGroupBy(lat.Top())); err != nil {
 		t.Fatalf("aggregate: %v", err)
 	}
 	// The top plan passed through some mid-level chunk; with intermediates

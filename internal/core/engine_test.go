@@ -54,7 +54,7 @@ func build(t testing.TB, stratName string, policy cache.Policy, capacity int64) 
 	if err != nil {
 		t.Fatalf("cache.New: %v", err)
 	}
-	e, err := New(g, c, s, be, sz, Options{})
+	e, err := New(g, c, s, be, sz)
 	if err != nil {
 		t.Fatalf("core.New: %v", err)
 	}
@@ -130,7 +130,7 @@ func TestEngineMatchesOracleAllStrategies(t *testing.T) {
 				rng := rand.New(rand.NewSource(99))
 				for i := 0; i < 40; i++ {
 					q := randomQuery(rng, f.grid)
-					res, err := f.engine.Execute(q)
+					res, err := f.engine.Execute(context.Background(), q)
 					if err != nil {
 						t.Fatalf("Execute: %v", err)
 					}
@@ -144,14 +144,14 @@ func TestEngineMatchesOracleAllStrategies(t *testing.T) {
 func TestRepeatQueryIsCompleteHit(t *testing.T) {
 	f := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
 	q := WholeGroupBy(f.grid.Lattice().MustID(1, 1, 0))
-	res1, err := f.engine.Execute(q)
+	res1, err := f.engine.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
 	if res1.CompleteHit {
 		t.Fatalf("first query should miss (cold cache)")
 	}
-	res2, err := f.engine.Execute(q)
+	res2, err := f.engine.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
@@ -173,10 +173,10 @@ func TestRepeatQueryIsCompleteHit(t *testing.T) {
 func TestRollUpIsCompleteHit(t *testing.T) {
 	f := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
 	lat := f.grid.Lattice()
-	if _, err := f.engine.Execute(WholeGroupBy(lat.Base())); err != nil {
+	if _, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Base())); err != nil {
 		t.Fatalf("warm base: %v", err)
 	}
-	res, err := f.engine.Execute(WholeGroupBy(lat.Top()))
+	res, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Top()))
 	if err != nil {
 		t.Fatalf("Execute(top): %v", err)
 	}
@@ -189,10 +189,10 @@ func TestRollUpIsCompleteHit(t *testing.T) {
 	assertMatchesOracle(t, f, WholeGroupBy(lat.Top()), res)
 	// NoAgg in the same situation must go to the backend.
 	f2 := build(t, "NoAgg", cache.NewBenefitClock(), 1<<20)
-	if _, err := f2.engine.Execute(WholeGroupBy(f2.grid.Lattice().Base())); err != nil {
+	if _, err := f2.engine.Execute(context.Background(), WholeGroupBy(f2.grid.Lattice().Base())); err != nil {
 		t.Fatalf("warm base: %v", err)
 	}
-	res2, err := f2.engine.Execute(WholeGroupBy(f2.grid.Lattice().Top()))
+	res2, err := f2.engine.Execute(context.Background(), WholeGroupBy(f2.grid.Lattice().Top()))
 	if err != nil {
 		t.Fatalf("Execute(top): %v", err)
 	}
@@ -204,15 +204,15 @@ func TestRollUpIsCompleteHit(t *testing.T) {
 func TestComputedChunkGetsCached(t *testing.T) {
 	f := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
 	lat := f.grid.Lattice()
-	if _, err := f.engine.Execute(WholeGroupBy(lat.Base())); err != nil {
+	if _, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Base())); err != nil {
 		t.Fatalf("warm: %v", err)
 	}
-	if _, err := f.engine.Execute(WholeGroupBy(lat.Top())); err != nil {
+	if _, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Top())); err != nil {
 		t.Fatalf("aggregate: %v", err)
 	}
 	// The aggregated chunk must now be resident: a third query answers it
 	// without aggregation work.
-	res, err := f.engine.Execute(WholeGroupBy(lat.Top()))
+	res, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Top()))
 	if err != nil {
 		t.Fatalf("repeat: %v", err)
 	}
@@ -224,12 +224,12 @@ func TestComputedChunkGetsCached(t *testing.T) {
 func TestBudgetExceededFallsBackToBackend(t *testing.T) {
 	f := build(t, "ESM-tiny-budget", cache.NewTwoLevel(), 1<<20)
 	lat := f.grid.Lattice()
-	if _, err := f.engine.Execute(WholeGroupBy(lat.Base())); err != nil {
+	if _, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Base())); err != nil {
 		t.Fatalf("warm: %v", err)
 	}
 	// With budget 1, an aggregate lookup trips the budget and the chunk is
 	// fetched from the backend instead.
-	res, err := f.engine.Execute(WholeGroupBy(lat.Top()))
+	res, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Top()))
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
@@ -255,11 +255,11 @@ func TestQueryValidation(t *testing.T) {
 		{GB: 0, MemberRanges: []chunk.Range{{Lo: 0, Hi: 1}}, Lo: []int32{0, 0, 0}, Hi: []int32{1, 1, 1}}, // ranges arity
 	}
 	for i, q := range cases {
-		if _, err := f.engine.Execute(q); err == nil {
+		if _, err := f.engine.Execute(context.Background(), q); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
 	}
-	if _, err := New(nil, nil, nil, nil, nil, Options{}); err == nil {
+	if _, err := New(nil, nil, nil, nil, nil); err == nil {
 		t.Errorf("New with nils: expected error")
 	}
 }
@@ -268,7 +268,7 @@ func TestMemberRangeTrim(t *testing.T) {
 	f := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
 	lat := f.grid.Lattice()
 	base := lat.Base()
-	full, err := f.engine.Execute(WholeGroupBy(base))
+	full, err := f.engine.Execute(context.Background(), WholeGroupBy(base))
 	if err != nil {
 		t.Fatalf("full: %v", err)
 	}
@@ -282,7 +282,7 @@ func TestMemberRangeTrim(t *testing.T) {
 	ranges[0] = chunk.Range{Lo: 0, Hi: 1}
 	q := WholeGroupBy(base)
 	q.MemberRanges = ranges
-	trimmed, err := f.engine.Execute(q)
+	trimmed, err := f.engine.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatalf("trimmed: %v", err)
 	}
@@ -296,7 +296,7 @@ func TestMemberRangeTrim(t *testing.T) {
 
 func TestPreload(t *testing.T) {
 	f := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
-	gb, ok, err := f.engine.Preload()
+	gb, ok, err := f.engine.Preload(context.Background())
 	if err != nil || !ok {
 		t.Fatalf("Preload: %v %v", ok, err)
 	}
@@ -307,7 +307,7 @@ func TestPreload(t *testing.T) {
 		t.Fatalf("preloaded %s, want base", lat.LevelTupleString(gb))
 	}
 	// Everything is now a complete hit.
-	res, err := f.engine.Execute(WholeGroupBy(lat.Top()))
+	res, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Top()))
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
@@ -318,7 +318,7 @@ func TestPreload(t *testing.T) {
 
 func TestPreloadSmallCachePicksAggregate(t *testing.T) {
 	f := build(t, "VCMC", cache.NewTwoLevel(), 3_000)
-	gb, ok, err := f.engine.Preload()
+	gb, ok, err := f.engine.Preload(context.Background())
 	if err != nil {
 		t.Fatalf("Preload: %v", err)
 	}
@@ -363,7 +363,7 @@ func TestSmallCacheThrashingStillCorrect(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 60; i++ {
 		q := randomQuery(rng, f.grid)
-		res, err := f.engine.Execute(q)
+		res, err := f.engine.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatalf("Execute: %v", err)
 		}

@@ -12,8 +12,6 @@ import (
 // resident, aggregated along a lattice path (showing the plan tree and its
 // cost), or fetched from the backend. Intended for the CLI and debugging.
 func (e *Engine) Explain(q Query) (string, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	nq, err := q.normalize(e.grid)
 	if err != nil {
 		return "", err

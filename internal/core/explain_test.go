@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestExplainColdAndWarm(t *testing.T) {
 		t.Fatalf("cold explain missing batch line:\n%s", out)
 	}
 
-	if _, err := f.engine.Execute(WholeGroupBy(lat.Base())); err != nil {
+	if _, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Base())); err != nil {
 		t.Fatalf("warm: %v", err)
 	}
 	out, err = f.engine.Explain(top)
@@ -45,7 +46,7 @@ func TestExplainColdAndWarm(t *testing.T) {
 	}
 
 	// A resident chunk explains as resident.
-	if _, err := f.engine.Execute(top); err != nil {
+	if _, err := f.engine.Execute(context.Background(), top); err != nil {
 		t.Fatalf("execute top: %v", err)
 	}
 	out, _ = f.engine.Explain(top)
@@ -64,7 +65,7 @@ func TestExplainColdAndWarm(t *testing.T) {
 func TestExplainPlanCostFallback(t *testing.T) {
 	f := build(t, "ESM", cache.NewTwoLevel(), 1<<20)
 	lat := f.grid.Lattice()
-	if _, err := f.engine.Execute(WholeGroupBy(lat.Base())); err != nil {
+	if _, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Base())); err != nil {
 		t.Fatalf("warm: %v", err)
 	}
 	out, err := f.engine.Explain(WholeGroupBy(lat.Top()))

@@ -41,17 +41,10 @@ func estimateBytes(g *chunk.Grid, gb lattice.ID, cells int64) int64 {
 }
 
 // Preload fills the cache with the chosen group-by's chunks fetched from the
-// backend, marked as backend-class chunks. It returns the group-by loaded.
-// With no group-by fitting the cache it returns ok=false without error.
-func (e *Engine) Preload() (lattice.ID, bool, error) {
-	return e.PreloadContext(context.Background())
-}
-
-// PreloadContext is Preload with a caller-supplied context bounding the
-// backend fetch.
-func (e *Engine) PreloadContext(ctx context.Context) (lattice.ID, bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// backend, marked as backend-class chunks; ctx bounds the backend fetch. It
+// returns the group-by loaded. With no group-by fitting the cache it returns
+// ok=false without error.
+func (e *Engine) Preload(ctx context.Context) (lattice.ID, bool, error) {
 	gb, ok := ChoosePreloadGroupBy(e.grid, e.sizes, e.cache.Capacity())
 	if !ok {
 		return 0, false, nil
@@ -64,11 +57,18 @@ func (e *Engine) PreloadContext(ctx context.Context) (lattice.ID, bool, error) {
 	if err != nil {
 		return 0, false, fmt.Errorf("core: preload: %w", err)
 	}
-	benefit := (float64(bstats.TuplesScanned)*e.opts.BackendPenalty + e.opts.ConnectCostUnits) / float64(len(nums))
+	benefit := (float64(bstats.TuplesScanned)*e.opts.backendPenalty + e.opts.connectCostUnits) / float64(len(nums))
 	for i, c := range chunks {
 		e.cache.Insert(cache.Key{GB: gb, Num: int32(nums[i])}, c, cache.ClassBackend, benefit)
 	}
 	e.stats.backendQueries.Add(1)
 	e.stats.backendTuples.Add(bstats.TuplesScanned)
 	return gb, true, nil
+}
+
+// PreloadContext preloads with a caller-supplied context.
+//
+// Deprecated: Preload is context-first now; call Preload(ctx) directly.
+func (e *Engine) PreloadContext(ctx context.Context) (lattice.ID, bool, error) {
+	return e.Preload(ctx)
 }

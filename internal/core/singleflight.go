@@ -67,9 +67,7 @@ func (g *flightGroup) finish(gb lattice.ID, nums []int, calls []*flightCall, chu
 // fetchMissing obtains every missing chunk from the backend, deduplicating
 // against identical fetches already in flight. Chunks nobody is fetching are
 // batched into one ComputeChunks call led by this query; chunks with an
-// existing flight are awaited after this query's own batch completes. The
-// backend round trip runs outside the cache lock; only the insertion of the
-// fetched chunks takes it.
+// existing flight are awaited after this query's own batch completes.
 func (e *Engine) fetchMissing(ctx context.Context, gb lattice.ID, missing, missingIdx []int, res *Result, retry int) error {
 	own := make([]int, 0, len(missing))
 	ownIdx := make([]int, 0, len(missing))
@@ -116,18 +114,17 @@ func (e *Engine) fetchMissing(ctx context.Context, gb lattice.ID, missing, missi
 		e.stats.backendTuples.Add(bstats.TuplesScanned)
 		e.met.BackendRequests.Inc()
 		e.met.BackendTuples.Add(bstats.TuplesScanned)
-		benefit := (float64(bstats.TuplesScanned)*e.opts.BackendPenalty + e.opts.ConnectCostUnits) / float64(len(own))
+		benefit := (float64(bstats.TuplesScanned)*e.opts.backendPenalty + e.opts.connectCostUnits) / float64(len(own))
 
 		// Insert before publishing the flights so followers that re-probe
-		// find the chunks resident.
-		e.mu.Lock()
+		// find the chunks resident. The maintenance delta is approximate
+		// under concurrency (see the insert phase in execute).
 		m0 := e.strat.Maintenance()
 		for i, c := range chunks {
 			res.Chunks[ownIdx[i]] = c
 			e.cache.Insert(cache.Key{GB: gb, Num: int32(own[i])}, c, cache.ClassBackend, benefit)
 		}
 		m1 := e.strat.Maintenance()
-		e.mu.Unlock()
 		res.Breakdown.Update += m1.Sub(m0).Time
 
 		n := int64(len(own))

@@ -65,7 +65,7 @@ func buildScripted(t *testing.T) (*Engine, *scriptedBackend, *chunk.Grid) {
 	if err != nil {
 		t.Fatalf("cache.New: %v", err)
 	}
-	eng, err := New(base.grid, c, strategy.NewVCMC(base.grid, sz), sb, sz, Options{})
+	eng, err := New(base.grid, c, strategy.NewVCMC(base.grid, sz), sb, sz)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -84,7 +84,7 @@ func TestFlightLeaderFailureCleansUp(t *testing.T) {
 	sb.mu.Lock()
 	sb.failWith = injected
 	sb.mu.Unlock()
-	if _, err := eng.Execute(q); !errors.Is(err, injected) {
+	if _, err := eng.Execute(context.Background(), q); !errors.Is(err, injected) {
 		t.Fatalf("leader error = %v, want wrap of injected failure", err)
 	}
 
@@ -100,7 +100,7 @@ func TestFlightLeaderFailureCleansUp(t *testing.T) {
 	sb.mu.Lock()
 	sb.failWith = nil
 	sb.mu.Unlock()
-	res, err := eng.Execute(q)
+	res, err := eng.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatalf("retry after leader failure: %v", err)
 	}
@@ -125,7 +125,7 @@ func TestFlightLeaderFailureReachesFollowers(t *testing.T) {
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
 	leaderErr := make(chan error, 1)
 	go func() {
-		_, err := eng.ExecuteContext(leaderCtx, q)
+		_, err := eng.Execute(leaderCtx, q)
 		leaderErr <- err
 	}()
 	<-started
@@ -138,7 +138,7 @@ func TestFlightLeaderFailureReachesFollowers(t *testing.T) {
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		res, err := eng.ExecuteContext(ctx, q)
+		res, err := eng.Execute(ctx, q)
 		followerRes = res
 		followerErr <- err
 	}()
@@ -168,7 +168,7 @@ func TestTruncatedBackendReply(t *testing.T) {
 	sb.truncate = true
 	sb.mu.Unlock()
 
-	_, err := eng.Execute(WholeGroupBy(g.Lattice().Top()))
+	_, err := eng.Execute(context.Background(), WholeGroupBy(g.Lattice().Top()))
 	if err == nil {
 		t.Fatalf("truncated reply accepted")
 	}
@@ -180,7 +180,7 @@ func TestTruncatedBackendReply(t *testing.T) {
 	sb.mu.Lock()
 	sb.truncate = false
 	sb.mu.Unlock()
-	if _, err := eng.Execute(WholeGroupBy(g.Lattice().Top())); err != nil {
+	if _, err := eng.Execute(context.Background(), WholeGroupBy(g.Lattice().Top())); err != nil {
 		t.Fatalf("engine wedged after truncated reply: %v", err)
 	}
 }

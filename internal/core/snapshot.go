@@ -29,8 +29,6 @@ const snapshotMagic = "aggcache-snapshot-v1"
 // to w, so a middle tier can restart warm. Replacement state (clock
 // weights) is not preserved; reloaded chunks start fresh.
 func (e *Engine) SaveCache(w io.Writer) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	snap := snapshot{Magic: snapshotMagic}
 	e.cache.Range(func(k cache.Key, data *chunk.Chunk, cl cache.Class, benefit float64) {
 		snap.Entries = append(snap.Entries, snapEntry{Key: k, Class: cl, Benefit: benefit, Data: data})
@@ -54,8 +52,6 @@ func (e *Engine) LoadCache(r io.Reader) (int, error) {
 	if snap.Magic != snapshotMagic {
 		return 0, fmt.Errorf("core: not a cache snapshot (magic %q)", snap.Magic)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	lat := e.grid.Lattice()
 	admitted := 0
 	for _, se := range snap.Entries {

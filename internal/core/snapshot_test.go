@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -11,10 +12,10 @@ import (
 func TestSaveLoadCacheWarmRestart(t *testing.T) {
 	f := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
 	lat := f.grid.Lattice()
-	if _, err := f.engine.Execute(WholeGroupBy(lat.Base())); err != nil {
+	if _, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Base())); err != nil {
 		t.Fatalf("warm: %v", err)
 	}
-	if _, err := f.engine.Execute(WholeGroupBy(lat.Top())); err != nil {
+	if _, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Top())); err != nil {
 		t.Fatalf("aggregate: %v", err)
 	}
 	var buf bytes.Buffer
@@ -34,7 +35,7 @@ func TestSaveLoadCacheWarmRestart(t *testing.T) {
 	}
 	// Queries that were complete hits before are complete hits again, with
 	// the strategy's counts maintained through the reload.
-	res, err := f2.engine.Execute(WholeGroupBy(lat.Top()))
+	res, err := f2.engine.Execute(context.Background(), WholeGroupBy(lat.Top()))
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
@@ -44,7 +45,7 @@ func TestSaveLoadCacheWarmRestart(t *testing.T) {
 	assertMatchesOracle(t, f2, WholeGroupBy(lat.Top()), res)
 	// A roll-up not previously materialized is still computable (counts
 	// were rebuilt by the listener during reload).
-	res, err = f2.engine.Execute(WholeGroupBy(lat.MustID(1, 1, 0)))
+	res, err = f2.engine.Execute(context.Background(), WholeGroupBy(lat.MustID(1, 1, 0)))
 	if err != nil || !res.CompleteHit {
 		t.Fatalf("derived roll-up missed after restart: %v %+v", err, res)
 	}
@@ -53,7 +54,7 @@ func TestSaveLoadCacheWarmRestart(t *testing.T) {
 func TestLoadCacheSmallerCache(t *testing.T) {
 	f := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
 	lat := f.grid.Lattice()
-	if _, err := f.engine.Execute(WholeGroupBy(lat.Base())); err != nil {
+	if _, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Base())); err != nil {
 		t.Fatalf("warm: %v", err)
 	}
 	var buf bytes.Buffer

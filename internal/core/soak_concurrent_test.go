@@ -4,6 +4,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -19,9 +20,10 @@ import (
 	"aggcache/internal/workload"
 )
 
-// buildSoakEngines wires two engines — concurrent subject and serialized
-// reference — over one grid and one shared backend.
-func buildSoakEngines(t *testing.T, capacity int64) (subject, reference *core.Engine, g *chunk.Grid) {
+// buildSoakEngines wires two engines — concurrent subject (whose cache is
+// built with copts) and serialized single-lock reference — over one grid and
+// one shared backend.
+func buildSoakEngines(t *testing.T, capacity int64, copts ...cache.Option) (subject, reference *core.Engine, g *chunk.Grid) {
 	t.Helper()
 	cfg := apb.New(apb.ScaleTiny)
 	g, tab, err := cfg.Build(33)
@@ -33,28 +35,34 @@ func buildSoakEngines(t *testing.T, capacity int64) (subject, reference *core.En
 		t.Fatalf("NewEngine: %v", err)
 	}
 	sz := sizer.NewEstimate(g, int64(tab.Len()))
-	mk := func() *core.Engine {
-		c, err := cache.New(capacity, cache.NewTwoLevel())
+	mk := func(copts ...cache.Option) *core.Engine {
+		c, err := cache.New(capacity, cache.NewTwoLevel(), copts...)
 		if err != nil {
 			t.Fatalf("cache.New: %v", err)
 		}
-		eng, err := core.New(g, c, strategy.NewVCMC(g, sz), be, sz, core.Options{})
+		eng, err := core.New(g, c, strategy.NewVCMC(g, sz), be, sz)
 		if err != nil {
 			t.Fatalf("core.New: %v", err)
 		}
 		return eng
 	}
-	return mk(), mk(), g
+	return mk(copts...), mk(), g
 }
 
 // TestConcurrentSoakMatchesSerializedEngine replays one mixed workload
-// stream twice: serially through a reference engine, then interleaved
-// across 8 goroutines through the subject engine. Every concurrent answer
-// must match the serialized one (which itself is oracle-checked by the
-// other engine tests). Run under -race this is the tentpole's correctness
-// soak.
+// stream twice: serially through a single-lock reference engine, then
+// interleaved across 8 goroutines through the subject engine — once backed
+// by the single-lock store and once by a 4-shard store. Every concurrent
+// answer must match the serialized one (which itself is oracle-checked by
+// the other engine tests). Run under -race this is the tentpole's
+// correctness soak.
 func TestConcurrentSoakMatchesSerializedEngine(t *testing.T) {
-	subject, reference, g := buildSoakEngines(t, 64<<10)
+	t.Run("single", func(t *testing.T) { runConcurrentSoak(t) })
+	t.Run("sharded-4", func(t *testing.T) { runConcurrentSoak(t, cache.WithShards(4)) })
+}
+
+func runConcurrentSoak(t *testing.T, copts ...cache.Option) {
+	subject, reference, g := buildSoakEngines(t, 64<<10, copts...)
 	gen, err := workload.NewGenerator(g, workload.DefaultMix, 4, 7)
 	if err != nil {
 		t.Fatalf("NewGenerator: %v", err)
@@ -67,7 +75,7 @@ func TestConcurrentSoakMatchesSerializedEngine(t *testing.T) {
 	}
 	want := make([]answer, len(queries))
 	for i, q := range queries {
-		res, err := reference.Execute(q)
+		res, err := reference.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatalf("reference query %d: %v", i, err)
 		}
@@ -82,7 +90,7 @@ func TestConcurrentSoakMatchesSerializedEngine(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(queries); i += workers {
-				res, err := subject.Execute(queries[i])
+				res, err := subject.Execute(context.Background(), queries[i])
 				if err != nil {
 					errs <- fmt.Errorf("query %d: %w", i, err)
 					return

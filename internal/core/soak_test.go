@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -37,18 +38,18 @@ func TestSoakSmallScale(t *testing.T) {
 				s = strategy.NewVCMC(g, sz)
 			}
 			c, _ := cache.New(64<<10, cache.NewTwoLevel()) // ~1/8 of the base table
-			eng, err := New(g, c, s, be, sz, Options{})
+			eng, err := New(g, c, s, be, sz)
 			if err != nil {
 				t.Fatalf("core.New: %v", err)
 			}
-			if _, _, err := eng.Preload(); err != nil {
+			if _, _, err := eng.Preload(context.Background()); err != nil {
 				t.Fatalf("Preload: %v", err)
 			}
 			f := &fixture{grid: g, engine: eng, oracle: be}
 			rng := rand.New(rand.NewSource(123))
 			for i := 0; i < 300; i++ {
 				q := randomQuery(rng, g)
-				res, err := eng.Execute(q)
+				res, err := eng.Execute(context.Background(), q)
 				if err != nil {
 					t.Fatalf("query %d: %v", i, err)
 				}

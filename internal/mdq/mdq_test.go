@@ -1,6 +1,7 @@
 package mdq
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -130,7 +131,7 @@ func TestEndToEnd(t *testing.T) {
 	}
 	sz := sizer.NewEstimate(g, int64(tab.Len()))
 	c, _ := cache.New(1<<20, cache.NewTwoLevel())
-	eng, err := core.New(g, c, strategy.NewVCMC(g, sz), be, sz, core.Options{})
+	eng, err := core.New(g, c, strategy.NewVCMC(g, sz), be, sz)
 	if err != nil {
 		t.Fatalf("core.New: %v", err)
 	}
@@ -138,7 +139,7 @@ func TestEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Compile: %v", err)
 	}
-	res, err := eng.Execute(q)
+	res, err := eng.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
@@ -173,14 +174,14 @@ func TestCountAvgFromSameCache(t *testing.T) {
 	be, _ := backend.NewEngine(g, tab, backend.LatencyModel{})
 	sz := sizer.NewEstimate(g, int64(tab.Len()))
 	c, _ := cache.New(1<<20, cache.NewTwoLevel())
-	eng, _ := core.New(g, c, strategy.NewVCMC(g, sz), be, sz, core.Options{})
+	eng, _ := core.New(g, c, strategy.NewVCMC(g, sz), be, sz)
 
 	// Warm with the base level.
 	warm, _, err := Compile("SUM(UnitSales) BY Product:Code, Time:Month, Channel:Base", g)
 	if err != nil {
 		t.Fatalf("Compile: %v", err)
 	}
-	if _, err := eng.Execute(warm); err != nil {
+	if _, err := eng.Execute(context.Background(), warm); err != nil {
 		t.Fatalf("warm: %v", err)
 	}
 
@@ -189,7 +190,7 @@ func TestCountAvgFromSameCache(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Compile(%q): %v", src, err)
 		}
-		res, err := eng.Execute(q)
+		res, err := eng.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatalf("Execute(%q): %v", src, err)
 		}
@@ -267,12 +268,12 @@ func TestFormatResultTruncation(t *testing.T) {
 	be, _ := backend.NewEngine(g, tab, backend.LatencyModel{})
 	sz := sizer.NewEstimate(g, int64(tab.Len()))
 	c, _ := cache.New(1<<20, cache.NewTwoLevel())
-	eng, _ := core.New(g, c, strategy.NewVCMC(g, sz), be, sz, core.Options{})
+	eng, _ := core.New(g, c, strategy.NewVCMC(g, sz), be, sz)
 	q, _, err := Compile("SUM(UnitSales) BY Product:Code, Time:Month", g)
 	if err != nil {
 		t.Fatalf("Compile: %v", err)
 	}
-	res, err := eng.Execute(q)
+	res, err := eng.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}

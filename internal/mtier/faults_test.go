@@ -33,7 +33,7 @@ func newFaultyServer(t *testing.T, bcfg backend.BreakerConfig) (*Server, *backen
 	brk := backend.NewBreaker(faulty, bcfg)
 	sz := sizer.NewEstimate(g, int64(tab.Len()))
 	c, _ := cache.New(1<<20, cache.NewTwoLevel())
-	eng, err := core.New(g, c, strategy.NewVCMC(g, sz), brk, sz, core.Options{})
+	eng, err := core.New(g, c, strategy.NewVCMC(g, sz), brk, sz)
 	if err != nil {
 		t.Fatalf("core.New: %v", err)
 	}
@@ -115,7 +115,7 @@ func TestQueryTimeoutOutcome(t *testing.T) {
 	faulty := backend.NewFaulty(be, backend.FaultPlan{Seed: 1, HangRate: 1, HangFor: time.Minute})
 	sz := sizer.NewEstimate(g, int64(tab.Len()))
 	c, _ := cache.New(1<<20, cache.NewTwoLevel())
-	eng, err := core.New(g, c, strategy.NewVCMC(g, sz), faulty, sz, core.Options{})
+	eng, err := core.New(g, c, strategy.NewVCMC(g, sz), faulty, sz)
 	if err != nil {
 		t.Fatalf("core.New: %v", err)
 	}

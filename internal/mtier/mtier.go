@@ -269,7 +269,7 @@ func (s *Server) answer(req Request) *Response {
 		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
 		defer cancel()
 	}
-	res, err := s.engine.ExecuteContext(ctx, q)
+	res, err := s.engine.Execute(ctx, q)
 	if err != nil {
 		// Count failures by kind so an open breaker or a hung backend is
 		// distinguishable from a bad query on /metrics and /traces.

@@ -29,7 +29,7 @@ func newTestServer(t *testing.T) (*Server, *core.Engine, float64) {
 	}
 	sz := sizer.NewEstimate(g, int64(tab.Len()))
 	c, _ := cache.New(1<<20, cache.NewTwoLevel())
-	eng, err := core.New(g, c, strategy.NewVCMC(g, sz), be, sz, core.Options{})
+	eng, err := core.New(g, c, strategy.NewVCMC(g, sz), be, sz)
 	if err != nil {
 		t.Fatalf("core.New: %v", err)
 	}

@@ -1,6 +1,9 @@
 package strategy
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"aggcache/internal/cache"
 	"aggcache/internal/chunk"
 	"aggcache/internal/lattice"
@@ -15,10 +18,11 @@ import (
 type ESM struct {
 	grid    *chunk.Grid
 	lat     *lattice.Lattice
+	mu      sync.RWMutex
 	present *presence
 	// budget bounds nodes visited per Find; 0 means unlimited (faithful).
 	budget  int64
-	visited int64
+	visited atomic.Int64
 }
 
 // NewESM creates an ESM strategy for the grid. budget bounds the nodes
@@ -31,15 +35,19 @@ func NewESM(g *chunk.Grid, budget int64) *ESM {
 func (s *ESM) Name() string { return "ESM" }
 
 // Find implements Strategy: the paper's ESM(Level, ChunkNumber) returning an
-// executable plan on success.
+// executable plan on success. Concurrent Finds share the read lock.
 func (s *ESM) Find(gb lattice.ID, num int) (*Plan, bool, error) {
-	s.visited = 0
-	return s.find(gb, num)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var visited int64
+	p, ok, err := s.find(gb, num, &visited)
+	s.visited.Store(visited)
+	return p, ok, err
 }
 
-func (s *ESM) find(gb lattice.ID, num int) (*Plan, bool, error) {
-	s.visited++
-	if s.budget > 0 && s.visited > s.budget {
+func (s *ESM) find(gb lattice.ID, num int, visited *int64) (*Plan, bool, error) {
+	*visited++
+	if s.budget > 0 && *visited > s.budget {
 		return nil, false, ErrBudget
 	}
 	if s.present.has(gb, num) {
@@ -51,7 +59,7 @@ func (s *ESM) find(gb lattice.ID, num int) (*Plan, bool, error) {
 		inputs := make([]*Plan, 0, len(nums))
 		ok := true
 		for _, cn := range nums {
-			sub, found, err := s.find(parent, cn)
+			sub, found, err := s.find(parent, cn, visited)
 			if err != nil {
 				return nil, false, err
 			}
@@ -69,10 +77,18 @@ func (s *ESM) find(gb lattice.ID, num int) (*Plan, bool, error) {
 }
 
 // OnInsert implements cache.Listener; ESM only tracks presence.
-func (s *ESM) OnInsert(e *cache.Entry) { s.present.set(e.Key.GB, int(e.Key.Num)) }
+func (s *ESM) OnInsert(e *cache.Entry) {
+	s.mu.Lock()
+	s.present.set(e.Key.GB, int(e.Key.Num))
+	s.mu.Unlock()
+}
 
 // OnEvict implements cache.Listener.
-func (s *ESM) OnEvict(e *cache.Entry) { s.present.clear(e.Key.GB, int(e.Key.Num)) }
+func (s *ESM) OnEvict(e *cache.Entry) {
+	s.mu.Lock()
+	s.present.clear(e.Key.GB, int(e.Key.Num))
+	s.mu.Unlock()
+}
 
 // Overhead implements Strategy; ESM keeps no count/cost arrays (Table 3).
 func (s *ESM) Overhead() int64 { return 0 }
@@ -81,7 +97,7 @@ func (s *ESM) Overhead() int64 { return 0 }
 func (s *ESM) Maintenance() Maint { return Maint{} }
 
 // LastVisited implements Strategy.
-func (s *ESM) LastVisited() int64 { return s.visited }
+func (s *ESM) LastVisited() int64 { return s.visited.Load() }
 
 // ESMC is the cost-based exhaustive method (§5.1): it explores *all* lattice
 // paths and returns the cheapest plan under the linear cost model. Its
@@ -90,10 +106,11 @@ func (s *ESM) LastVisited() int64 { return s.visited }
 type ESMC struct {
 	grid    *chunk.Grid
 	lat     *lattice.Lattice
+	mu      sync.RWMutex
 	present *presence
 	sizes   sizer.Sizer
 	budget  int64
-	visited int64
+	visited atomic.Int64
 }
 
 // NewESMC creates an ESMC strategy; sizes supplies the cost model's chunk
@@ -107,13 +124,17 @@ func (s *ESMC) Name() string { return "ESMC" }
 
 // Find implements Strategy, returning the minimum-cost plan.
 func (s *ESMC) Find(gb lattice.ID, num int) (*Plan, bool, error) {
-	s.visited = 0
-	return s.find(gb, num)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var visited int64
+	p, ok, err := s.find(gb, num, &visited)
+	s.visited.Store(visited)
+	return p, ok, err
 }
 
-func (s *ESMC) find(gb lattice.ID, num int) (*Plan, bool, error) {
-	s.visited++
-	if s.budget > 0 && s.visited > s.budget {
+func (s *ESMC) find(gb lattice.ID, num int, visited *int64) (*Plan, bool, error) {
+	*visited++
+	if s.budget > 0 && *visited > s.budget {
 		return nil, false, ErrBudget
 	}
 	if s.present.has(gb, num) {
@@ -127,7 +148,7 @@ func (s *ESMC) find(gb lattice.ID, num int) (*Plan, bool, error) {
 		cost := int64(0)
 		ok := true
 		for _, cn := range nums {
-			sub, found, err := s.find(parent, cn)
+			sub, found, err := s.find(parent, cn, visited)
 			if err != nil {
 				return nil, false, err
 			}
@@ -146,10 +167,18 @@ func (s *ESMC) find(gb lattice.ID, num int) (*Plan, bool, error) {
 }
 
 // OnInsert implements cache.Listener.
-func (s *ESMC) OnInsert(e *cache.Entry) { s.present.set(e.Key.GB, int(e.Key.Num)) }
+func (s *ESMC) OnInsert(e *cache.Entry) {
+	s.mu.Lock()
+	s.present.set(e.Key.GB, int(e.Key.Num))
+	s.mu.Unlock()
+}
 
 // OnEvict implements cache.Listener.
-func (s *ESMC) OnEvict(e *cache.Entry) { s.present.clear(e.Key.GB, int(e.Key.Num)) }
+func (s *ESMC) OnEvict(e *cache.Entry) {
+	s.mu.Lock()
+	s.present.clear(e.Key.GB, int(e.Key.Num))
+	s.mu.Unlock()
+}
 
 // Overhead implements Strategy.
 func (s *ESMC) Overhead() int64 { return 0 }
@@ -158,13 +187,14 @@ func (s *ESMC) Overhead() int64 { return 0 }
 func (s *ESMC) Maintenance() Maint { return Maint{} }
 
 // LastVisited implements Strategy.
-func (s *ESMC) LastVisited() int64 { return s.visited }
+func (s *ESMC) LastVisited() int64 { return s.visited.Load() }
 
 // NoAgg is the conventional chunk cache of the paper's comparison (§7.2
 // "no aggregation"): a chunk is answerable only when it is itself resident.
 type NoAgg struct {
+	mu      sync.RWMutex
 	present *presence
-	visited int64
+	visited atomic.Int64
 }
 
 // NewNoAgg creates the no-aggregation baseline.
@@ -175,7 +205,9 @@ func (s *NoAgg) Name() string { return "NoAgg" }
 
 // Find implements Strategy.
 func (s *NoAgg) Find(gb lattice.ID, num int) (*Plan, bool, error) {
-	s.visited = 1
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.visited.Store(1)
 	if s.present.has(gb, num) {
 		return &Plan{GB: gb, Num: num, Present: true}, true, nil
 	}
@@ -183,10 +215,18 @@ func (s *NoAgg) Find(gb lattice.ID, num int) (*Plan, bool, error) {
 }
 
 // OnInsert implements cache.Listener.
-func (s *NoAgg) OnInsert(e *cache.Entry) { s.present.set(e.Key.GB, int(e.Key.Num)) }
+func (s *NoAgg) OnInsert(e *cache.Entry) {
+	s.mu.Lock()
+	s.present.set(e.Key.GB, int(e.Key.Num))
+	s.mu.Unlock()
+}
 
 // OnEvict implements cache.Listener.
-func (s *NoAgg) OnEvict(e *cache.Entry) { s.present.clear(e.Key.GB, int(e.Key.Num)) }
+func (s *NoAgg) OnEvict(e *cache.Entry) {
+	s.mu.Lock()
+	s.present.clear(e.Key.GB, int(e.Key.Num))
+	s.mu.Unlock()
+}
 
 // Overhead implements Strategy.
 func (s *NoAgg) Overhead() int64 { return 0 }
@@ -195,4 +235,4 @@ func (s *NoAgg) Overhead() int64 { return 0 }
 func (s *NoAgg) Maintenance() Maint { return Maint{} }
 
 // LastVisited implements Strategy.
-func (s *NoAgg) LastVisited() int64 { return s.visited }
+func (s *NoAgg) LastVisited() int64 { return s.visited.Load() }

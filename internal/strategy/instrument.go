@@ -34,9 +34,8 @@ func Instrument(s Strategy, m obs.StrategyMetrics) *Instrumented {
 }
 
 // Find delegates to the wrapped strategy, recording call count, plan hits,
-// visited nodes, and (for sampled calls) latency. It runs under the
-// engine's cache lock like any Find, so the added cost is a few atomic
-// adds, plus two clock reads on every sixteenth call.
+// visited nodes, and (for sampled calls) latency. The added cost is a few
+// atomic adds, plus two clock reads on every sixteenth call.
 func (i *Instrumented) Find(gb lattice.ID, num int) (*Plan, bool, error) {
 	sampled := i.n.Add(1)&findSampleMask == 0
 	var start time.Time

@@ -83,9 +83,9 @@ func (m Maint) Sub(o Maint) Maint {
 }
 
 // maintCounters accumulates maintenance work with atomic counters so
-// Maintenance() can be sampled without holding the engine's cache lock
-// (bench reporters and snapshots read it while queries are in flight).
-// The handlers that bump the counters still run serialized under that lock.
+// Maintenance() can be sampled lock-free while queries are in flight (bench
+// reporters and snapshots read it concurrently). The handlers that bump the
+// counters run under their strategy's write lock.
 type maintCounters struct {
 	updates atomic.Int64
 	nanos   atomic.Int64
@@ -106,9 +106,13 @@ func timeMaint(m *maintCounters, fn func()) {
 	m.nanos.Add(int64(time.Since(start)))
 }
 
-// Strategy is a cache lookup strategy. Find, OnInsert and OnEvict mutate
-// shared summary state and must be called under the engine's cache lock;
-// Maintenance and Name may be called concurrently with them.
+// Strategy is a cache lookup strategy. Implementations synchronize
+// internally: concurrent Finds share a read lock over the summary state,
+// while OnInsert/OnEvict (which the cache store invokes from its Listener
+// hooks, possibly from several shards at once) take the write lock. Every
+// method may be called from any goroutine. A plan returned by Find reflects
+// residence at lookup time; the engine re-validates it by pinning the leaves
+// and falls back to fetching when a leaf has since been evicted.
 type Strategy interface {
 	// Name identifies the strategy in reports ("ESM", "VCMC", …).
 	Name() string
@@ -127,7 +131,8 @@ type Strategy interface {
 	// Maintenance returns cumulative maintenance counters.
 	Maintenance() Maint
 	// LastVisited returns the number of nodes visited by the most recent
-	// Find — the lookup-complexity metric behind Table 1.
+	// Find — the lookup-complexity metric behind Table 1. With concurrent
+	// Finds in flight the value is that of whichever Find stored last.
 	LastVisited() int64
 }
 

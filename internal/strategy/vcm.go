@@ -2,6 +2,8 @@ package strategy
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"aggcache/internal/cache"
 	"aggcache/internal/chunk"
@@ -22,10 +24,11 @@ import (
 type VCM struct {
 	grid    *chunk.Grid
 	lat     *lattice.Lattice
+	mu      sync.RWMutex
 	present *presence
 	counts  [][]int32
 	maint   maintCounters
-	visited int64
+	visited atomic.Int64
 }
 
 // NewVCM creates a VCM strategy with all-zero counts (empty cache).
@@ -42,18 +45,26 @@ func NewVCM(g *chunk.Grid) *VCM {
 func (s *VCM) Name() string { return "VCM" }
 
 // Count exposes a chunk's virtual count (tests and diagnostics).
-func (s *VCM) Count(gb lattice.ID, num int) int32 { return s.counts[gb][num] }
+func (s *VCM) Count(gb lattice.ID, num int) int32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.counts[gb][num]
+}
 
 // Find implements Strategy. A zero count returns immediately; otherwise
-// exactly one successful path is expanded into a plan.
+// exactly one successful path is expanded into a plan. Concurrent Finds share
+// the read lock.
 func (s *VCM) Find(gb lattice.ID, num int) (*Plan, bool, error) {
-	s.visited = 0
-	plan := s.build(gb, num)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var visited int64
+	plan := s.build(gb, num, &visited)
+	s.visited.Store(visited)
 	return plan, plan != nil, nil
 }
 
-func (s *VCM) build(gb lattice.ID, num int) *Plan {
-	s.visited++
+func (s *VCM) build(gb lattice.ID, num int, visited *int64) *Plan {
+	*visited++
 	if s.counts[gb][num] == 0 {
 		return nil
 	}
@@ -75,7 +86,7 @@ func (s *VCM) build(gb lattice.ID, num int) *Plan {
 		}
 		inputs := make([]*Plan, 0, len(nums))
 		for _, cn := range nums {
-			sub := s.build(parent, cn)
+			sub := s.build(parent, cn, visited)
 			if sub == nil {
 				// Property 1 guarantees this cannot happen.
 				panic(fmt.Sprintf("strategy: VCM count invariant violated at gb %d chunk %d", parent, cn))
@@ -90,6 +101,8 @@ func (s *VCM) build(gb lattice.ID, num int) *Plan {
 
 // OnInsert implements cache.Listener: the paper's VCM_InsertUpdateCount.
 func (s *VCM) OnInsert(e *cache.Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	timeMaint(&s.maint, func() {
 		gb, num := e.Key.GB, int(e.Key.Num)
 		s.present.set(gb, num)
@@ -126,6 +139,8 @@ func (s *VCM) inc(gb lattice.ID, num int) {
 // OnEvict implements cache.Listener: the eviction dual of insert (the paper
 // notes it is "similar in implementation and complexity").
 func (s *VCM) OnEvict(e *cache.Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	timeMaint(&s.maint, func() {
 		gb, num := e.Key.GB, int(e.Key.Num)
 		s.present.clear(gb, num)
@@ -172,4 +187,4 @@ func (s *VCM) Overhead() int64 { return s.grid.TotalChunks() }
 func (s *VCM) Maintenance() Maint { return s.maint.snapshot() }
 
 // LastVisited implements Strategy.
-func (s *VCM) LastVisited() int64 { return s.visited }
+func (s *VCM) LastVisited() int64 { return s.visited.Load() }

@@ -3,6 +3,8 @@ package strategy
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"aggcache/internal/cache"
 	"aggcache/internal/chunk"
@@ -31,12 +33,13 @@ type VCMC struct {
 	grid    *chunk.Grid
 	lat     *lattice.Lattice
 	sizes   sizer.Sizer
+	mu      sync.RWMutex
 	present *presence
 	counts  [][]int32
 	costs   [][]int64
 	best    [][]int16 // index into lat.Parents(gb); -1 none, -2 present
 	maint   maintCounters
-	visited int64
+	visited atomic.Int64
 	// levelSum[gb] orders propagation: children always have a strictly
 	// smaller sum, so processing pending nodes by descending sum recomputes
 	// each affected chunk exactly once per maintenance operation.
@@ -86,12 +89,18 @@ func NewVCMC(g *chunk.Grid, sizes sizer.Sizer) *VCMC {
 func (s *VCMC) Name() string { return "VCMC" }
 
 // Count exposes a chunk's virtual count.
-func (s *VCMC) Count(gb lattice.ID, num int) int32 { return s.counts[gb][num] }
+func (s *VCMC) Count(gb lattice.ID, num int) int32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.counts[gb][num]
+}
 
 // CostEstimate returns the least cost (in tuples scanned) of computing the
 // chunk from the cache, in constant time. ok is false when the chunk is not
 // computable. A resident chunk costs 0.
 func (s *VCMC) CostEstimate(gb lattice.ID, num int) (cost int64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	c := s.costs[gb][num]
 	if c == infCost {
 		return 0, false
@@ -100,15 +109,18 @@ func (s *VCMC) CostEstimate(gb lattice.ID, num int) (cost int64, ok bool) {
 }
 
 // Find implements Strategy, materializing the least-cost plan by following
-// BestParent pointers.
+// BestParent pointers. Concurrent Finds share the read lock.
 func (s *VCMC) Find(gb lattice.ID, num int) (*Plan, bool, error) {
-	s.visited = 0
-	plan := s.build(gb, num)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var visited int64
+	plan := s.build(gb, num, &visited)
+	s.visited.Store(visited)
 	return plan, plan != nil, nil
 }
 
-func (s *VCMC) build(gb lattice.ID, num int) *Plan {
-	s.visited++
+func (s *VCMC) build(gb lattice.ID, num int, visited *int64) *Plan {
+	*visited++
 	if s.counts[gb][num] == 0 {
 		return nil
 	}
@@ -123,7 +135,7 @@ func (s *VCMC) build(gb lattice.ID, num int) *Plan {
 	nums := s.grid.ParentChunks(gb, num, parent, nil)
 	inputs := make([]*Plan, 0, len(nums))
 	for _, cn := range nums {
-		sub := s.build(parent, cn)
+		sub := s.build(parent, cn, visited)
 		if sub == nil {
 			panic(fmt.Sprintf("strategy: VCMC best-parent path broken at gb %d chunk %d", parent, cn))
 		}
@@ -134,6 +146,8 @@ func (s *VCMC) build(gb lattice.ID, num int) *Plan {
 
 // OnInsert implements cache.Listener.
 func (s *VCMC) OnInsert(e *cache.Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	timeMaint(&s.maint, func() {
 		gb, num := e.Key.GB, int(e.Key.Num)
 		s.present.set(gb, num)
@@ -145,6 +159,8 @@ func (s *VCMC) OnInsert(e *cache.Entry) {
 
 // OnEvict implements cache.Listener.
 func (s *VCMC) OnEvict(e *cache.Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	timeMaint(&s.maint, func() {
 		gb, num := e.Key.GB, int(e.Key.Num)
 		s.present.clear(gb, num)
@@ -236,4 +252,4 @@ func (s *VCMC) Overhead() int64 { return 6 * s.grid.TotalChunks() }
 func (s *VCMC) Maintenance() Maint { return s.maint.snapshot() }
 
 // LastVisited implements Strategy.
-func (s *VCMC) LastVisited() int64 { return s.visited }
+func (s *VCMC) LastVisited() int64 { return s.visited.Load() }
