@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernel bench-shards soak-shards fmt cover chaos ci FORCE
+.PHONY: build test vet race bench bench-kernel bench-shards bench-wire soak-shards fuzz-wire fmt cover chaos ci FORCE
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,17 @@ bench-kernel:
 # 1/4/8 concurrent clients (writes BENCH_5.json).
 bench-shards:
 	$(GO) run ./cmd/aggbench -scale small -exp shards
+
+# bench-wire compares the retired gob transport against the binary framing
+# layer under pipelined concurrent load (writes BENCH_6.json).
+bench-wire:
+	$(GO) run ./cmd/aggbench -scale tiny -exp wire
+
+# fuzz-wire smoke-fuzzes the frame and chunk-slab codecs: malformed input
+# must never panic or over-allocate.
+fuzz-wire:
+	$(GO) test ./internal/wire -run XXX -fuzz FuzzFrame -fuzztime 10s
+	$(GO) test ./internal/wire -run XXX -fuzz FuzzChunkDecode -fuzztime 10s
 
 # soak-shards runs the sharded-store concurrency suite under the race
 # detector: the cache-level invariant soak plus the engine-level soak whose

@@ -39,6 +39,7 @@ import (
 	"aggcache/internal/obs"
 	"aggcache/internal/sizer"
 	"aggcache/internal/strategy"
+	"aggcache/internal/wire"
 )
 
 func main() {
@@ -62,6 +63,10 @@ func main() {
 		ioTimeoutFlag    = flag.Duration("backend-io-timeout", backend.DefaultRetryPolicy.IOTimeout, "wire deadline per remote backend exchange")
 		brkThreshFlag    = flag.Int("breaker-threshold", 5, "consecutive backend failures that open the circuit breaker (0 = breaker disabled)")
 		brkCooldownFlag  = flag.Duration("breaker-cooldown", 2*time.Second, "how long the breaker stays open before probing the backend")
+
+		maxFrameFlag    = flag.Int("wire-max-frame", 0, "max wire frame payload in bytes, both tiers (0 = 64MiB default)")
+		clientReadFlag  = flag.Duration("client-read-timeout", mtier.DefaultTimeouts.Read, "idle deadline per client connection awaiting the next query (0 = none)")
+		clientWriteFlag = flag.Duration("client-write-timeout", mtier.DefaultTimeouts.Write, "deadline for writing one response to a client")
 	)
 	flag.Parse()
 
@@ -95,6 +100,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		remote.SetMaxPayload(*maxFrameFlag)
 		if reg != nil {
 			remote.SetMetrics(obs.NewRemoteMetrics(reg))
 		}
@@ -179,6 +185,8 @@ func main() {
 
 	srv := mtier.NewServer(eng)
 	srv.SetQueryTimeout(*queryTimeoutFlag)
+	srv.SetTimeouts(wire.Timeouts{Read: *clientReadFlag, Write: *clientWriteFlag})
+	srv.SetMaxPayload(*maxFrameFlag)
 	if reg != nil {
 		srv.SetObs(reg, ring)
 	}

@@ -34,6 +34,7 @@ func main() {
 		readTimeoutFlag  = flag.Duration("read-timeout", backend.DefaultTimeouts.Read, "idle deadline per connection awaiting the next request (0 = none)")
 		writeTimeoutFlag = flag.Duration("write-timeout", backend.DefaultTimeouts.Write, "deadline for writing one response")
 		reqTimeoutFlag   = flag.Duration("request-timeout", backend.DefaultTimeouts.Request, "compute deadline per request, replied as a transient error (0 = none)")
+		maxFrameFlag     = flag.Int("wire-max-frame", 0, "max wire frame payload in bytes (0 = 64MiB default)")
 	)
 	flag.Parse()
 
@@ -87,6 +88,7 @@ func main() {
 		Write:   *writeTimeoutFlag,
 		Request: *reqTimeoutFlag,
 	})
+	srv.SetMaxPayload(*maxFrameFlag)
 	addr, err := srv.Listen(*listenFlag)
 	if err != nil {
 		fatal(err)

@@ -40,6 +40,7 @@ func main() {
 		shardsFlag  = flag.Int("cache-shards", 1, "cache shard count (power of two, max 64); 1 = single lock, 0 = auto (GOMAXPROCS)")
 		backendFlag = flag.String("backend", "", "remote backend address (empty = in-process)")
 		rowsFlag    = flag.Int("rows", 20, "max result rows to print")
+		maxFrame    = flag.Int("wire-max-frame", 0, "max wire frame payload in bytes for the remote backend (0 = 64MiB default)")
 	)
 	flag.Parse()
 
@@ -60,6 +61,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		remote.SetMaxPayload(*maxFrame)
 		be = remote
 		rows = cfg.Rows // assume the server runs the same preset
 		fmt.Printf("olapcli: using remote backend %s\n", *backendFlag)

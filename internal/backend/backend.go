@@ -32,6 +32,10 @@ type Backend interface {
 	// for the request, without executing it. A cost-based middle tier (§5.2)
 	// compares it against VCMC's in-cache cost estimate.
 	EstimateScan(ctx context.Context, gb lattice.ID, nums []int) (int64, error)
+	// EstimateScans is the batched form: one estimate per requested chunk,
+	// in request order, so a Phase-1b pass over N cost-bypass candidates is
+	// one backend round trip instead of N.
+	EstimateScans(ctx context.Context, gb lattice.ID, nums []int) ([]int64, error)
 	// Close releases resources (network connections for remote backends).
 	Close() error
 }

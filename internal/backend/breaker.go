@@ -214,5 +214,17 @@ func (b *Breaker) EstimateScan(ctx context.Context, gb lattice.ID, nums []int) (
 	return est, err
 }
 
+// EstimateScans implements Backend through the breaker.
+func (b *Breaker) EstimateScans(ctx context.Context, gb lattice.ID, nums []int) ([]int64, error) {
+	probe, err := b.admit()
+	if err != nil {
+		b.met.FastFails.Inc()
+		return nil, err
+	}
+	ests, err := b.inner.EstimateScans(ctx, gb, nums)
+	b.record(err, probe)
+	return ests, err
+}
+
 // Close implements Backend.
 func (b *Breaker) Close() error { return b.inner.Close() }

@@ -54,6 +54,13 @@ func (s *stubBackend) EstimateScan(ctx context.Context, gb lattice.ID, nums []in
 	return 0, err
 }
 
+func (s *stubBackend) EstimateScans(ctx context.Context, gb lattice.ID, nums []int) ([]int64, error) {
+	if _, err := s.EstimateScan(ctx, gb, nums); err != nil {
+		return nil, err
+	}
+	return make([]int64, len(nums)), nil
+}
+
 func (s *stubBackend) Close() error { return nil }
 
 // fakeClock drives the breaker's cooldown without sleeping.

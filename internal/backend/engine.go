@@ -306,28 +306,41 @@ func (e *Engine) ComputeChunks(ctx context.Context, gb lattice.ID, nums []int) (
 	return out, stats, nil
 }
 
-// EstimateScan implements Backend: the tuples ComputeChunks would read,
-// resolved through the clustered index without scanning.
-func (e *Engine) EstimateScan(ctx context.Context, gb lattice.ID, nums []int) (int64, error) {
+// EstimateScans implements Backend: the tuples ComputeChunks would read per
+// requested chunk, resolved through the clustered index without scanning.
+func (e *Engine) EstimateScans(ctx context.Context, gb lattice.ID, nums []int) ([]int64, error) {
 	g := e.grid
 	lat := g.Lattice()
 	if err := ctx.Err(); err != nil {
-		return 0, err
+		return nil, err
 	}
 	if int(gb) < 0 || int(gb) >= lat.NumNodes() {
-		return 0, fmt.Errorf("backend: group-by %d out of range", gb)
+		return nil, fmt.Errorf("backend: group-by %d out of range", gb)
 	}
 	src := e.pickSource(gb)
-	var total int64
+	ests := make([]int64, len(nums))
 	var sbuf []int
-	for _, num := range nums {
+	for i, num := range nums {
 		if num < 0 || num >= g.NumChunks(gb) {
-			return 0, fmt.Errorf("backend: chunk %d of group-by %s out of range", num, lat.LevelTupleString(gb))
+			return nil, fmt.Errorf("backend: chunk %d of group-by %s out of range", num, lat.LevelTupleString(gb))
 		}
 		sbuf = g.AncestorChunks(gb, num, src.gb, sbuf[:0])
 		for _, sc := range sbuf {
-			total += src.offsets[sc+1] - src.offsets[sc]
+			ests[i] += src.offsets[sc+1] - src.offsets[sc]
 		}
+	}
+	return ests, nil
+}
+
+// EstimateScan implements Backend: the total over EstimateScans.
+func (e *Engine) EstimateScan(ctx context.Context, gb lattice.ID, nums []int) (int64, error) {
+	ests, err := e.EstimateScans(ctx, gb, nums)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, est := range ests {
+		total += est
 	}
 	return total, nil
 }

@@ -150,5 +150,13 @@ func (f *Faulty) EstimateScan(ctx context.Context, gb lattice.ID, nums []int) (i
 	return f.inner.EstimateScan(ctx, gb, nums)
 }
 
+// EstimateScans implements Backend with fault injection.
+func (f *Faulty) EstimateScans(ctx context.Context, gb lattice.ID, nums []int) ([]int64, error) {
+	if err := f.inject(ctx); err != nil {
+		return nil, err
+	}
+	return f.inner.EstimateScans(ctx, gb, nums)
+}
+
 // Close implements Backend.
 func (f *Faulty) Close() error { return f.inner.Close() }

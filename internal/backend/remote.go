@@ -2,7 +2,6 @@ package backend
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -14,6 +13,7 @@ import (
 	"aggcache/internal/chunk"
 	"aggcache/internal/lattice"
 	"aggcache/internal/obs"
+	"aggcache/internal/wire"
 )
 
 // RetryPolicy tunes the self-healing remote client: how many times one
@@ -81,26 +81,34 @@ func (r *Remote) backoff(retry int) time.Duration {
 	return time.Duration(float64(d) * f)
 }
 
+// errRemoteClosed is the permanent error after Close: never retried, never
+// counted as an outage (the owner chose to shut down).
+var errRemoteClosed = errors.New("backend: remote is closed")
+
 // Remote is a Backend talking to a Server over TCP. It is safe for
-// concurrent use; requests are serialized over one connection. The client is
-// self-healing: a broken connection is torn down and transparently re-dialed
-// instead of poisoning the gob stream, and transient failures are retried
-// with capped exponential backoff + jitter up to the policy's attempt
-// budget, after which the error wraps ErrUnavailable.
+// concurrent use: callers multiplex one connection through per-request
+// frame ids (wire.Mux), so N in-flight requests pipeline instead of
+// queueing on a client-side lock. The client is self-healing — a broken
+// connection is torn down and transparently re-dialed, and transient
+// failures are retried with capped exponential backoff + jitter up to the
+// policy's attempt budget, after which the error wraps ErrUnavailable.
+// Close tears the connection down promptly; exchanges in flight fail with
+// a permanent (non-retried, non-outage) error rather than waiting out
+// their I/O deadlines.
 type Remote struct {
-	addr string
-	pol  RetryPolicy
-	met  obs.RemoteMetrics
+	addr   string
+	pol    RetryPolicy
+	met    obs.RemoteMetrics
+	maxPay int
 
 	closed atomic.Bool
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	mu   sync.Mutex
-	conn net.Conn
-	dec  *gob.Decoder
-	enc  *gob.Encoder
+	mu   sync.Mutex // guards conn/mux pointer swaps only, never held across I/O
+	conn net.Conn   // eagerly dialed, not yet multiplexed (configuration window)
+	mux  *wire.Mux
 }
 
 // Dial connects to a backend server with DefaultRetryPolicy.
@@ -110,16 +118,18 @@ func Dial(addr string) (*Remote, error) {
 
 // DialPolicy connects to a backend server with an explicit retry policy.
 // The initial connection is established eagerly so configuration errors
-// fail fast.
+// fail fast, but it is not multiplexed until the first request — the window
+// in which SetMetrics and SetMaxPayload may still reconfigure the client.
 func DialPolicy(addr string, pol RetryPolicy) (*Remote, error) {
 	pol = pol.withDefaults()
 	r := &Remote{addr: addr, pol: pol, rng: rand.New(rand.NewSource(pol.Seed))}
-	r.mu.Lock()
-	err := r.redialLocked(context.Background())
-	r.mu.Unlock()
+	conn, err := r.rawDial(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("backend: dial %s: %w", addr, err)
 	}
+	r.mu.Lock()
+	r.conn = conn
+	r.mu.Unlock()
 	return r, nil
 }
 
@@ -127,66 +137,147 @@ func DialPolicy(addr string, pol RetryPolicy) (*Remote, error) {
 // request; it is not synchronized with requests in flight.
 func (r *Remote) SetMetrics(m obs.RemoteMetrics) { r.met = m }
 
-// redialLocked replaces the connection. The caller must hold r.mu.
-func (r *Remote) redialLocked(ctx context.Context) error {
+// SetMaxPayload bounds response frame payloads (0 means
+// wire.DefaultMaxPayload). Call it before the first request.
+func (r *Remote) SetMaxPayload(n int) { r.maxPay = n }
+
+// rawDial opens one TCP connection.
+func (r *Remote) rawDial(ctx context.Context) (net.Conn, error) {
 	d := net.Dialer{Timeout: r.pol.DialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", r.addr)
 	if err != nil {
-		return MarkTransient(err)
+		return nil, MarkTransient(err)
 	}
-	r.conn = conn
-	r.dec = gob.NewDecoder(conn)
-	r.enc = gob.NewEncoder(conn)
-	return nil
+	return conn, nil
 }
 
-// teardownLocked drops a connection whose gob stream can no longer be
-// trusted. The caller must hold r.mu.
-func (r *Remote) teardownLocked() {
-	if r.conn != nil {
-		r.conn.Close()
-		r.conn = nil
-		r.dec, r.enc = nil, nil
-	}
+// newMux wraps a connection with the multiplexer under the client's current
+// configuration (metrics, payload bound).
+func (r *Remote) newMux(conn net.Conn) *wire.Mux {
+	return wire.NewMux(conn, r.maxPay, wire.Metrics{
+		BytesIn:   r.met.WireBytesIn,
+		BytesOut:  r.met.WireBytesOut,
+		FramesIn:  r.met.FramesIn,
+		FramesOut: r.met.FramesOut,
+		InFlight:  r.met.InFlight,
+	})
 }
 
-// attempt performs one request/response exchange, redialing first if the
-// previous attempt tore the connection down. Any wire failure invalidates
-// the stream, so the connection is dropped before returning the error.
-func (r *Remote) attempt(ctx context.Context, req *request) (*response, error) {
+// dial establishes one multiplexed connection.
+func (r *Remote) dial(ctx context.Context) (*wire.Mux, error) {
+	conn, err := r.rawDial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return r.newMux(conn), nil
+}
+
+// getMux returns the live multiplexed connection, re-dialing if the
+// previous one was torn down. Concurrent callers share the result.
+func (r *Remote) getMux(ctx context.Context) (*wire.Mux, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed.Load() {
-		return nil, errors.New("backend: remote is closed")
+		r.mu.Unlock()
+		return nil, errRemoteClosed
 	}
-	if r.conn == nil {
-		r.met.Redials.Inc()
-		if err := r.redialLocked(ctx); err != nil {
-			return nil, err
-		}
+	if m := r.mux; m != nil && m.Healthy() {
+		r.mu.Unlock()
+		return m, nil
+	}
+	if c := r.conn; c != nil {
+		// First request: multiplex the eagerly-dialed connection now that
+		// configuration is settled. Not a redial.
+		r.conn = nil
+		m := r.newMux(c)
+		r.mux = m
+		r.mu.Unlock()
+		return m, nil
+	}
+	r.mu.Unlock()
+	// Dial outside the lock so a slow connect never blocks Close or callers
+	// racing toward an already-live connection.
+	r.met.Redials.Inc()
+	m, err := r.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.closed.Load() {
+		r.mu.Unlock()
+		m.Close()
+		return nil, errRemoteClosed
+	}
+	if cur := r.mux; cur != nil && cur.Healthy() {
+		// Another caller re-dialed first; share theirs.
+		r.mu.Unlock()
+		m.Close()
+		return cur, nil
+	}
+	old := r.mux
+	r.mux = m
+	r.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return m, nil
+}
+
+// dropMux discards a connection whose stream failed, if it is still the
+// current one.
+func (r *Remote) dropMux(m *wire.Mux) {
+	r.mu.Lock()
+	if r.mux == m {
+		r.mux = nil
+	}
+	r.mu.Unlock()
+	m.Close()
+}
+
+// attempt performs one pipelined exchange. Wire-level failures are marked
+// transient (the PR-3 taxonomy: a retry over a fresh connection may cure
+// them) and the connection is dropped; in-band error frames become
+// RemoteError, transient or permanent per the frame's flag; Close and the
+// caller's context produce permanent errors untouched.
+func (r *Remote) attempt(ctx context.Context, typ uint8, payload []byte) (*wire.Frame, error) {
+	m, err := r.getMux(ctx)
+	if err != nil {
+		return nil, err
 	}
 	deadline := time.Now().Add(r.pol.IOTimeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
-	r.conn.SetDeadline(deadline)
-	if err := r.enc.Encode(req); err != nil {
-		r.teardownLocked()
-		return nil, fmt.Errorf("backend: send: %w", err)
+	fr, err := m.RoundTrip(ctx, typ, 0, payload, deadline)
+	if err != nil {
+		// The caller's context expiring dominates any wire classification:
+		// the exchange deadline that fired may have been the context's own.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		if errors.Is(err, wire.ErrClosed) {
+			return nil, errRemoteClosed
+		}
+		r.dropMux(m)
+		return nil, MarkTransient(fmt.Errorf("backend: exchange: %w", err))
 	}
-	var resp response
-	if err := r.dec.Decode(&resp); err != nil {
-		r.teardownLocked()
-		return nil, fmt.Errorf("backend: receive: %w", err)
+	if fr.Type == frameError {
+		rerr := &RemoteError{Msg: decodeErrorFrame(fr.Payload)}
+		if fr.Flags&wire.FlagTransient == 0 {
+			return nil, rerr // deterministic per-request failure
+		}
+		return nil, MarkTransient(rerr)
 	}
-	return &resp, nil
+	return &fr, nil
 }
 
 // roundTrip sends one request, retrying transient failures per the policy.
-func (r *Remote) roundTrip(ctx context.Context, req *request) (*response, error) {
+func (r *Remote) roundTrip(ctx context.Context, typ uint8, payload []byte) (*wire.Frame, error) {
 	r.met.Requests.Inc()
 	var lastErr error
 	for try := 0; try < r.pol.MaxAttempts; try++ {
+		if r.closed.Load() {
+			return nil, errRemoteClosed
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -200,19 +291,10 @@ func (r *Remote) roundTrip(ctx context.Context, req *request) (*response, error)
 				return nil, ctx.Err()
 			}
 		}
-		resp, err := r.attempt(ctx, req)
+		fr, err := r.attempt(ctx, typ, payload)
 		if err == nil {
-			if resp.Err == "" {
-				return resp, nil
-			}
-			rerr := &RemoteError{Msg: resp.Err}
-			if !resp.Transient {
-				return nil, rerr // deterministic per-request failure
-			}
-			err = MarkTransient(rerr)
+			return fr, nil
 		}
-		// The caller's context expiring dominates any wire classification:
-		// the I/O deadline that fired may have been the context's own.
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
 		}
@@ -226,37 +308,62 @@ func (r *Remote) roundTrip(ctx context.Context, req *request) (*response, error)
 		r.addr, r.pol.MaxAttempts, lastErr, ErrUnavailable)
 }
 
-// ComputeChunks implements Backend over the wire.
+// ComputeChunks implements Backend over the wire: one frame out, one frame
+// of chunk slabs back, however many chunks the batch names.
 func (r *Remote) ComputeChunks(ctx context.Context, gb lattice.ID, nums []int) ([]*chunk.Chunk, Stats, error) {
-	resp, err := r.roundTrip(ctx, &request{GB: gb, Nums: nums})
+	fr, err := r.roundTrip(ctx, frameCompute, encodeRequest(nil, gb, nums))
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return resp.Chunks, resp.Stats, nil
+	chunks, stats, err := decodeChunksResponse(fr.Payload)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return chunks, stats, nil
+}
+
+// EstimateScans implements Backend over the wire: per-chunk scan estimates
+// for the whole batch in one round trip.
+func (r *Remote) EstimateScans(ctx context.Context, gb lattice.ID, nums []int) ([]int64, error) {
+	fr, err := r.roundTrip(ctx, frameEstimate, encodeRequest(nil, gb, nums))
+	if err != nil {
+		return nil, err
+	}
+	return decodeEstimatesResponse(fr.Payload)
 }
 
 // EstimateScan implements Backend over the wire.
 func (r *Remote) EstimateScan(ctx context.Context, gb lattice.ID, nums []int) (int64, error) {
-	resp, err := r.roundTrip(ctx, &request{GB: gb, Nums: nums, EstimateOnly: true})
+	ests, err := r.EstimateScans(ctx, gb, nums)
 	if err != nil {
 		return 0, err
 	}
-	return resp.Estimate, nil
+	var total int64
+	for _, e := range ests {
+		total += e
+	}
+	return total, nil
 }
 
-// Close implements Backend. In-flight retry loops observe the flag on their
+// Close implements Backend. The connection is torn down immediately:
+// exchanges in flight fail promptly with a permanent error (never retried,
+// never counted as an outage), and retry loops observe the flag on their
 // next attempt and stop.
 func (r *Remote) Close() error {
 	if r.closed.Swap(true) {
 		return nil
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	var err error
-	if r.conn != nil {
-		err = r.conn.Close()
-		r.conn = nil
-		r.dec, r.enc = nil, nil
+	m := r.mux
+	c := r.conn
+	r.mux = nil
+	r.conn = nil
+	r.mu.Unlock()
+	if m != nil {
+		m.Close()
 	}
-	return err
+	if c != nil {
+		c.Close()
+	}
+	return nil
 }

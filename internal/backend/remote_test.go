@@ -156,8 +156,8 @@ func TestServerSurvivesMalformedFrame(t *testing.T) {
 	if err != nil {
 		t.Fatalf("raw dial: %v", err)
 	}
-	// A complete gob frame (length prefix 3) whose payload is garbage, so
-	// the decoder fails immediately instead of waiting for more bytes.
+	// Garbage that fails the frame header's magic check immediately, so the
+	// reader drops the connection instead of waiting for more bytes.
 	raw.Write([]byte("\x03\xff\xfe\xfd"))
 	buf := make([]byte, 64)
 	raw.SetReadDeadline(time.Now().Add(5 * time.Second))

@@ -2,65 +2,35 @@ package backend
 
 import (
 	"context"
-	"encoding/gob"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
 
-	"aggcache/internal/chunk"
-	"aggcache/internal/lattice"
 	"aggcache/internal/obs"
+	"aggcache/internal/wire"
 )
 
-// request is one wire-protocol request: compute (or, with EstimateOnly,
-// cost-estimate) the listed chunks of one group-by.
-type request struct {
-	GB           lattice.ID
-	Nums         []int
-	EstimateOnly bool
-}
-
-// response carries the computed chunks back. Err is non-empty on failure;
-// Transient marks the failure as retryable (the engine did not answer — a
-// server-side timeout or panic), as opposed to a deterministic per-request
-// rejection the client must not retry.
-type response struct {
-	Chunks    []*chunk.Chunk
-	Stats     Stats
-	Estimate  int64
-	Err       string
-	Transient bool
-}
-
-// Timeouts bounds the server side of the wire protocol so a stuck peer or a
-// runaway request can never wedge a serving goroutine forever.
-type Timeouts struct {
-	// Read bounds the wait for the next request frame; connections idle
-	// longer are closed. 0 means no limit (middle tiers legitimately keep
-	// idle persistent connections).
-	Read time.Duration
-	// Write bounds encoding one response to a slow or stuck client.
-	Write time.Duration
-	// Request bounds the engine computation for one request; the reply is a
-	// transient error rather than a torn-down connection. 0 means no limit.
-	Request time.Duration
-}
+// Timeouts bounds the server side of the wire protocol; it is wire.Timeouts
+// shared with the middle-tier server (see that type for field semantics).
+type Timeouts = wire.Timeouts
 
 // DefaultTimeouts is the server's out-of-the-box deadline policy.
 var DefaultTimeouts = Timeouts{Write: time.Minute}
 
-// Server exposes an Engine over a TCP listener with a gob protocol: each
-// connection carries a stream of request/response pairs. It stands in for
-// the paper's remote commercial DBMS tier. Per-request engine errors are
-// replied in-band; only wire-level failures (a malformed gob frame loses
-// the stream framing and cannot be resynchronized) close the connection.
+// Server exposes an Engine over a TCP listener speaking the length-prefixed
+// binary frame protocol of package wire (DESIGN.md §11). It stands in for
+// the paper's remote commercial DBMS tier. Each connection is pipelined:
+// request frames are dispatched to concurrent handlers and responses return
+// in completion order, matched to their request by id. Per-request engine
+// errors are replied in-band; only wire-level failures (bad magic, a
+// truncated frame, a reset) close the connection, and an idle-deadline
+// reaping is counted separately from those.
 type Server struct {
 	engine *Engine
 	tmo    Timeouts
 	met    obs.BackendMetrics
+	maxPay int
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -77,6 +47,10 @@ func NewServer(e *Engine) *Server {
 // SetTimeouts replaces the deadline policy. Call it before Listen; it is not
 // synchronized with connections in flight.
 func (s *Server) SetTimeouts(t Timeouts) { s.tmo = t }
+
+// SetMaxPayload bounds request frame payloads (0 means
+// wire.DefaultMaxPayload). Call it before Listen.
+func (s *Server) SetMaxPayload(n int) { s.maxPay = n }
 
 // SetMetrics attaches live observability metrics (the server records the
 // wire-level counters; attach the same bundle to the engine for the compute
@@ -127,61 +101,59 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	for {
-		if s.tmo.Read > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.tmo.Read))
-		}
-		var req request
-		if err := dec.Decode(&req); err != nil {
-			// EOF is the client's clean goodbye; anything else — a garbage
-			// frame, a reset, an idle timeout — still just closes this one
-			// connection, counted so it is visible on /metrics.
-			if !errors.Is(err, io.EOF) {
-				s.met.WireErrors.Inc()
-			}
-			return
-		}
-		resp := s.handle(&req)
-		if s.tmo.Write > 0 {
-			conn.SetWriteDeadline(time.Now().Add(s.tmo.Write))
-		}
-		if err := enc.Encode(resp); err != nil {
-			s.met.WireErrors.Inc()
-			return
-		}
-	}
+	wire.ServeConn(conn, wire.ConnOptions{
+		Timeouts:   s.tmo,
+		MaxPayload: s.maxPay,
+		Metrics: wire.Metrics{
+			BytesIn:   s.met.WireBytesIn,
+			BytesOut:  s.met.WireBytesOut,
+			FramesIn:  s.met.FramesIn,
+			FramesOut: s.met.FramesOut,
+			InFlight:  s.met.InFlight,
+		},
+		WireErrors: s.met.WireErrors,
+		IdleCloses: s.met.IdleCloses,
+	}, s.handleFrame)
 }
 
-// handle serves one decoded request, converting engine errors — and panics —
-// into in-band error responses so one bad request never tears down the
-// connection under its neighbors.
-func (s *Server) handle(req *request) (resp *response) {
+// handleFrame serves one request frame, converting engine errors — and
+// panics — into in-band error frames so one bad request never tears down
+// the connection under its pipelined neighbors. The transient flag carries
+// the PR-3 taxonomy to the client: countsAsOutage failures (the engine did
+// not answer) are retryable, deterministic rejections are not.
+func (s *Server) handleFrame(fr *wire.Frame) (resp wire.Frame) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.met.Panics.Inc()
-			resp = &response{Err: fmt.Sprintf("panic serving request: %v", p), Transient: true}
+			resp = errorFrame(fmt.Sprintf("panic serving request: %v", p), true)
 		}
 	}()
+	gb, nums, err := decodeRequest(fr.Payload)
+	if err != nil {
+		return errorFrame(err.Error(), false)
+	}
 	ctx := context.Background()
 	if s.tmo.Request > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.tmo.Request)
 		defer cancel()
 	}
-	if req.EstimateOnly {
-		est, err := s.engine.EstimateScan(ctx, req.GB, req.Nums)
+	switch fr.Type {
+	case frameCompute:
+		chunks, stats, err := s.engine.ComputeChunks(ctx, gb, nums)
 		if err != nil {
-			return &response{Err: err.Error(), Transient: countsAsOutage(err)}
+			return errorFrame(err.Error(), countsAsOutage(err))
 		}
-		return &response{Estimate: est}
+		return wire.Frame{Type: frameChunks, Payload: encodeChunksResponse(nil, chunks, stats)}
+	case frameEstimate:
+		ests, err := s.engine.EstimateScans(ctx, gb, nums)
+		if err != nil {
+			return errorFrame(err.Error(), countsAsOutage(err))
+		}
+		return wire.Frame{Type: frameEstimates, Payload: encodeEstimatesResponse(nil, ests)}
+	default:
+		return errorFrame(fmt.Sprintf("unknown frame type 0x%02x", fr.Type), false)
 	}
-	chunks, stats, err := s.engine.ComputeChunks(ctx, req.GB, req.Nums)
-	if err != nil {
-		return &response{Err: err.Error(), Transient: countsAsOutage(err)}
-	}
-	return &response{Chunks: chunks, Stats: stats}
 }
 
 // Close stops the listener and closes active connections.

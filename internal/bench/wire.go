@@ -1,0 +1,345 @@
+package bench
+
+import (
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aggcache/internal/backend"
+	"aggcache/internal/chunk"
+	"aggcache/internal/lattice"
+	"aggcache/internal/obs"
+)
+
+// wireJSONFile is the machine-readable artifact Wire writes next to its
+// report. CI uploads it so the framing layer's latency trajectory can be
+// compared across commits without parsing report text.
+const wireJSONFile = "BENCH_6.json"
+
+const (
+	wireClients  = 8
+	wireRequests = 600
+)
+
+// wireMetrics is the BENCH_6.json schema.
+type wireMetrics struct {
+	Bench     string `json:"bench"`
+	Scale     string `json:"scale"`
+	GoVersion string `json:"go_version"`
+	Procs     int    `json:"gomaxprocs"`
+	Clients   int    `json:"clients"`
+	Requests  int    `json:"requests"`
+
+	Gob  wireTransportRow `json:"gob"`
+	Wire wireTransportRow `json:"wire"`
+
+	// P99Speedup is gob p99 / wire p99 — the headline pipelining win.
+	P99Speedup float64 `json:"p99_speedup"`
+}
+
+type wireTransportRow struct {
+	P50us       float64 `json:"p50_us"`
+	P95us       float64 `json:"p95_us"`
+	P99us       float64 `json:"p99_us"`
+	WallMs      float64 `json:"wall_ms"`
+	BytesPerReq float64 `json:"wire_bytes_per_request"`
+}
+
+// Wire compares the retired gob transport against the length-prefixed
+// binary framing layer under BenchmarkConcurrentStream-style load: many
+// workers issuing ComputeChunks round trips over ONE client connection.
+//
+// The gob baseline reproduces the old protocol faithfully: a strictly
+// serial request/response conversation per connection, callers serialized
+// under a client-side mutex — so concurrent requests queue head-of-line
+// behind each other. The wire transport multiplexes the same connection by
+// request id, so all workers' requests are in flight at once and the
+// server computes them concurrently. A small slept per-request backend
+// latency stands in for real compute, making the head-of-line cost visible
+// in p99 rather than lost in scheduler noise. Bytes per request compare
+// gob's reflective stream encoding against the flat chunk slabs.
+func Wire(e *Env) (*Report, error) {
+	// A dedicated engine with a slept connect cost: each request holds the
+	// backend for ~1ms of genuine wall time.
+	eng, err := backend.NewEngine(e.Grid, e.Table, backend.LatencyModel{
+		Connect: time.Millisecond, Sleep: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	gb := e.Grid.Lattice().Top()
+	nchunks := e.Grid.NumChunks(gb)
+
+	var m wireMetrics
+	m.Bench = "wire"
+	m.Scale = e.Cfg.Scale.String()
+	m.GoVersion = runtime.Version()
+	m.Procs = runtime.GOMAXPROCS(0)
+	m.Clients = wireClients
+	m.Requests = wireRequests
+
+	// --- gob baseline ---
+	gsrv, err := newGobServer(eng)
+	if err != nil {
+		return nil, err
+	}
+	gcl, err := dialGob(gsrv.addr)
+	if err != nil {
+		gsrv.Close()
+		return nil, err
+	}
+	gobLat, gobWall, err := replayWire(func(ctx context.Context, gb lattice.ID, nums []int) error {
+		_, err := gcl.ComputeChunks(gb, nums)
+		return err
+	}, gb, nchunks)
+	gobBytes := float64(gcl.bytesIn.Load()+gcl.bytesOut.Load()) / wireRequests
+	gcl.Close()
+	gsrv.Close()
+	if err != nil {
+		return nil, err
+	}
+	m.Gob = wireTransportRow{
+		P50us: percentileUS(gobLat, 0.50), P95us: percentileUS(gobLat, 0.95),
+		P99us: percentileUS(gobLat, 0.99), WallMs: float64(gobWall) / float64(time.Millisecond),
+		BytesPerReq: gobBytes,
+	}
+
+	// --- wire framing ---
+	wsrv := backend.NewServer(eng)
+	waddr, err := wsrv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer wsrv.Close()
+	remote, err := backend.Dial(waddr)
+	if err != nil {
+		return nil, err
+	}
+	defer remote.Close()
+	rmet := obs.NewRemoteMetrics(obs.NewRegistry())
+	remote.SetMetrics(rmet)
+	wireLat, wireWall, err := replayWire(func(ctx context.Context, gb lattice.ID, nums []int) error {
+		_, _, err := remote.ComputeChunks(ctx, gb, nums)
+		return err
+	}, gb, nchunks)
+	if err != nil {
+		return nil, err
+	}
+	wireBytes := float64(rmet.WireBytesIn.Value()+rmet.WireBytesOut.Value()) / wireRequests
+	m.Wire = wireTransportRow{
+		P50us: percentileUS(wireLat, 0.50), P95us: percentileUS(wireLat, 0.95),
+		P99us: percentileUS(wireLat, 0.99), WallMs: float64(wireWall) / float64(time.Millisecond),
+		BytesPerReq: wireBytes,
+	}
+	m.P99Speedup = m.Gob.P99us / m.Wire.P99us
+
+	buf, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(wireJSONFile, append(buf, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("bench: wire: %w", err)
+	}
+
+	r := &Report{
+		ID: "wire",
+		Title: fmt.Sprintf("Wire transport: gob (serial) vs binary framing (pipelined), %d clients × one connection, %d requests",
+			wireClients, wireRequests),
+		Header: []string{"transport", "p50 µs", "p95 µs", "p99 µs", "wall ms", "bytes/req"},
+	}
+	row := func(name string, t wireTransportRow) {
+		r.AddRow(name, fmt.Sprintf("%.0f", t.P50us), fmt.Sprintf("%.0f", t.P95us),
+			fmt.Sprintf("%.0f", t.P99us), fmt.Sprintf("%.1f", t.WallMs),
+			fmt.Sprintf("%.0f", t.BytesPerReq))
+	}
+	row("gob", m.Gob)
+	row("wire", m.Wire)
+	r.Addf("both transports answer the same ComputeChunks workload from one engine with a slept 1ms per-request cost")
+	r.Addf("p99 speedup from request-id pipelining: %.1f×", m.P99Speedup)
+	r.Addf("machine-readable copy written to %s", wireJSONFile)
+	return r, nil
+}
+
+// replayWire drives wireRequests single-chunk requests through call from
+// wireClients workers and returns each request's latency plus total wall
+// time.
+func replayWire(call func(context.Context, lattice.ID, []int) error, gb lattice.ID, nchunks int) ([]time.Duration, time.Duration, error) {
+	lat := make([]time.Duration, wireRequests)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, wireClients)
+	start := time.Now()
+	for w := 0; w < wireClients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= wireRequests {
+					return
+				}
+				t0 := time.Now()
+				if err := call(context.Background(), gb, []int{i % nchunks}); err != nil {
+					errs <- err
+					return
+				}
+				lat[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return nil, 0, err
+	}
+	return lat, wall, nil
+}
+
+func percentileUS(lat []time.Duration, p float64) float64 {
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(p * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return float64(s[i]) / float64(time.Microsecond)
+}
+
+// --- self-contained gob baseline transport ---
+//
+// This is the protocol the repo shipped before the wire package: one gob
+// encoder/decoder pair per connection, strictly one request in flight at a
+// time. It lives here (not in internal/backend) purely as the bench
+// baseline.
+
+type gobWireRequest struct {
+	GB   lattice.ID
+	Nums []int
+}
+
+type gobWireResponse struct {
+	Chunks []*chunk.Chunk
+	Err    string
+}
+
+type gobServer struct {
+	ln   net.Listener
+	addr string
+	wg   sync.WaitGroup
+}
+
+func newGobServer(eng *backend.Engine) (*gobServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &gobServer{ln: ln, addr: ln.Addr().String()}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				dec := gob.NewDecoder(conn)
+				enc := gob.NewEncoder(conn)
+				for {
+					var req gobWireRequest
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					var resp gobWireResponse
+					chunks, _, err := eng.ComputeChunks(context.Background(), req.GB, req.Nums)
+					if err != nil {
+						resp.Err = err.Error()
+					} else {
+						resp.Chunks = chunks
+					}
+					if err := enc.Encode(&resp); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return s, nil
+}
+
+func (s *gobServer) Close() {
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+// countedConn tallies bytes moved over the baseline connection.
+type countedConn struct {
+	net.Conn
+	in, out *atomic.Int64
+}
+
+func (c countedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c countedConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}
+
+type gobClient struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	enc      *gob.Encoder
+	dec      *gob.Decoder
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+}
+
+func dialGob(addr string) (*gobClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &gobClient{conn: conn}
+	cc := countedConn{Conn: conn, in: &c.bytesIn, out: &c.bytesOut}
+	c.enc = gob.NewEncoder(cc)
+	c.dec = gob.NewDecoder(cc)
+	return c, nil
+}
+
+// ComputeChunks performs one serial exchange; concurrent callers queue on
+// the mutex exactly as they did on the retired protocol.
+func (c *gobClient) ComputeChunks(gb lattice.ID, nums []int) ([]*chunk.Chunk, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(&gobWireRequest{GB: gb, Nums: nums}); err != nil {
+		return nil, err
+	}
+	var resp gobWireResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("gob remote: %s", resp.Err)
+	}
+	return resp.Chunks, nil
+}
+
+func (c *gobClient) Close() { c.conn.Close() }

@@ -368,12 +368,24 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 	}
 
 	// Phase 1b — resolve bypass candidates against the backend's estimated
-	// cost; demoted chunks join the miss list.
+	// cost; demoted chunks join the miss list. All candidates ship as one
+	// batched EstimateScans round trip — the per-chunk estimates come back
+	// in request order — so the probe costs one exchange however many
+	// chunks the optimizer wants priced. An estimate failure keeps every
+	// candidate on its cache plan: the bypass is an optimization, never a
+	// correctness dependency.
 	if len(bypass) > 0 {
 		var demoted []*planned
-		for _, p := range bypass {
-			est, eerr := e.back.EstimateScan(ctx, nq.GB, []int{nums[p.idx]})
-			if eerr == nil && float64(p.plan.Cost) > float64(est)*e.opts.backendPenalty+e.opts.connectCostUnits {
+		bnums := make([]int, len(bypass))
+		for i, p := range bypass {
+			bnums[i] = nums[p.idx]
+		}
+		ests, eerr := e.back.EstimateScans(ctx, nq.GB, bnums)
+		if eerr != nil || len(ests) != len(bypass) {
+			ests = nil
+		}
+		for i, p := range bypass {
+			if ests != nil && float64(p.plan.Cost) > float64(ests[i])*e.opts.backendPenalty+e.opts.connectCostUnits {
 				demoted = append(demoted, p)
 			} else {
 				plans = append(plans, p)

@@ -4,13 +4,15 @@
 // the backend, and replies with the result cells plus provenance (cache hit,
 // aggregated, backend) and the Figure-10 time breakup.
 //
-// The wire protocol is gob over a persistent connection, mirroring
-// package backend's protocol between the middle tier and the database.
+// The wire protocol is the length-prefixed binary framing of package wire
+// over a persistent connection — the same layer the middle tier speaks to
+// the backend — so clients can pipeline queries: concurrent Query calls
+// share one connection and responses are matched by request id, in
+// whatever order the server finishes them.
 package mtier
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -23,6 +25,7 @@ import (
 	"aggcache/internal/core"
 	"aggcache/internal/mdq"
 	"aggcache/internal/obs"
+	"aggcache/internal/wire"
 )
 
 // Request is one client query.
@@ -76,6 +79,10 @@ type Server struct {
 	grid   *chunk.Grid
 	// queryTimeout bounds each query's execution; zero means no bound.
 	queryTimeout time.Duration
+	// tmo is the wire deadline policy (idle reaping, response writes).
+	tmo wire.Timeouts
+	// maxPay bounds request frames; 0 means wire.DefaultMaxPayload.
+	maxPay int
 
 	// reg/ring/met are the observability layer, wired by SetObs (or lazily
 	// by OpsHandler). met's handles are atomics; the ring takes its own
@@ -92,10 +99,26 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// NewServer wraps an engine for serving.
+// DefaultTimeouts is the middle-tier server's out-of-the-box wire deadline
+// policy: no idle limit (clients legitimately hold idle persistent
+// connections), one minute to write a response to a slow client.
+var DefaultTimeouts = wire.Timeouts{Write: time.Minute}
+
+// NewServer wraps an engine for serving with DefaultTimeouts.
 func NewServer(engine *core.Engine) *Server {
-	return &Server{engine: engine, grid: engine.Grid(), conns: make(map[net.Conn]struct{})}
+	return &Server{engine: engine, grid: engine.Grid(), tmo: DefaultTimeouts, conns: make(map[net.Conn]struct{})}
 }
+
+// SetTimeouts replaces the wire deadline policy — the same Timeouts the
+// backend server uses, so a stuck or idle client can never wedge a serving
+// goroutine forever. The Request field is ignored; use SetQueryTimeout,
+// which also classifies the failure for /metrics. Call before Listen; it is
+// not synchronized with connections in flight.
+func (s *Server) SetTimeouts(t wire.Timeouts) { s.tmo = t }
+
+// SetMaxPayload bounds request frame payloads (0 means
+// wire.DefaultMaxPayload). Call before Listen.
+func (s *Server) SetMaxPayload(n int) { s.maxPay = n }
 
 // SetQueryTimeout bounds each query's execution time: the engine runs it
 // under a context with this deadline, so a hung or slow backend fails the
@@ -230,18 +253,39 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return
-		}
-		resp := s.answer(req)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
+	// The shared serve loop brings the deadline policy and error accounting
+	// the backend server has had since the Timeouts work: decode/encode
+	// failures count on /metrics instead of silently dropping the
+	// connection, idle reaping is counted separately, and pipelined
+	// requests execute concurrently.
+	wire.ServeConn(conn, wire.ConnOptions{
+		Timeouts:   s.tmo,
+		MaxPayload: s.maxPay,
+		Metrics: wire.Metrics{
+			BytesIn:   s.met.WireBytesIn,
+			BytesOut:  s.met.WireBytesOut,
+			FramesIn:  s.met.FramesIn,
+			FramesOut: s.met.FramesOut,
+			InFlight:  s.met.InFlight,
+		},
+		WireErrors: s.met.WireErrors,
+		IdleCloses: s.met.IdleCloses,
+	}, s.handleFrame)
+}
+
+// handleFrame serves one query frame. All failures — including an
+// unrecognized frame type — are answered in-band through Response.Err, so
+// the connection survives a bad query under its pipelined neighbors.
+func (s *Server) handleFrame(fr *wire.Frame) wire.Frame {
+	var resp *Response
+	if fr.Type != frameQuery {
+		resp = &Response{Err: fmt.Sprintf("unknown frame type 0x%02x", fr.Type)}
+	} else if query, err := decodeQuery(fr.Payload); err != nil {
+		resp = &Response{Err: err.Error()}
+	} else {
+		resp = s.answer(Request{Query: query})
 	}
+	return wire.Frame{Type: frameAnswer, Payload: encodeResponse(nil, resp)}
 }
 
 // answer executes one query, recording metrics and a trace-ring entry for
@@ -368,13 +412,14 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Client is a middle-tier client. It is safe for concurrent use; requests
-// are serialized over one connection.
+// Client is a middle-tier client. It is safe for concurrent use: queries
+// are pipelined over one multiplexed connection, so N goroutines calling
+// Query share the connection without serializing on each other's round
+// trips.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	dec  *gob.Decoder
-	enc  *gob.Encoder
+	mu     sync.Mutex
+	mux    *wire.Mux
+	closed bool
 }
 
 // Dial connects to a middle-tier server.
@@ -383,40 +428,54 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mtier: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}, nil
+	return &Client{mux: wire.NewMux(conn, 0, wire.Metrics{})}, nil
 }
 
 // Query runs one mdq query on the middle tier.
 func (c *Client) Query(src string) (*Response, error) {
+	return c.QueryContext(context.Background(), src)
+}
+
+// QueryContext runs one mdq query under a caller-supplied context; the
+// query is abandoned (the connection stays healthy) when the context ends.
+func (c *Client) QueryContext(ctx context.Context, src string) (*Response, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
+	m := c.mux
+	closed := c.closed
+	c.mu.Unlock()
+	if closed || m == nil {
 		return nil, errors.New("mtier: client is closed")
 	}
-	if err := c.enc.Encode(&Request{Query: src}); err != nil {
-		return nil, fmt.Errorf("mtier: send: %w", err)
-	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
+	fr, err := m.RoundTrip(ctx, frameQuery, 0, encodeQuery(nil, src), time.Time{})
+	if err != nil {
 		if errors.Is(err, io.EOF) {
 			err = errors.New("server closed the connection")
 		}
-		return nil, fmt.Errorf("mtier: receive: %w", err)
+		return nil, fmt.Errorf("mtier: %w", err)
+	}
+	if fr.Type != frameAnswer {
+		return nil, fmt.Errorf("mtier: unexpected frame type 0x%02x", fr.Type)
+	}
+	resp, err := decodeResponse(fr.Payload)
+	if err != nil {
+		return nil, err
 	}
 	if resp.Err != "" {
 		return nil, fmt.Errorf("mtier: remote: %s", resp.Err)
 	}
-	return &resp, nil
+	return resp, nil
 }
 
-// Close releases the connection.
+// Close releases the connection; queries in flight fail promptly.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
+	if c.closed {
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
+	c.closed = true
+	if c.mux != nil {
+		c.mux.Close()
+	}
+	return nil
 }

@@ -2,15 +2,19 @@ package mtier
 
 import (
 	"math"
+	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"aggcache/internal/apb"
 	"aggcache/internal/backend"
 	"aggcache/internal/cache"
 	"aggcache/internal/core"
+	"aggcache/internal/obs"
 	"aggcache/internal/sizer"
 	"aggcache/internal/strategy"
+	"aggcache/internal/wire"
 )
 
 // newTestServer builds a tiny three-tier stack — in-process backend, cached
@@ -158,6 +162,77 @@ func TestConcurrentClients(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatalf("concurrent client: %v", err)
+	}
+}
+
+// TestServerCountsWireErrorsAndIdleCloses: a garbage connection increments
+// the wire-error counter, a silent one is reaped by the idle deadline and
+// counted separately, and healthy clients keep working through both.
+func TestServerCountsWireErrorsAndIdleCloses(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	srv.SetObs(obs.NewRegistry(), nil)
+	srv.SetTimeouts(wire.Timeouts{Read: 100 * time.Millisecond, Write: time.Minute})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	// Garbage that fails the magic check: the server must drop the
+	// connection and count a wire error.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("raw dial: %v", err)
+	}
+	raw.Write([]byte("\x00garbage-not-a-frame"))
+	buf := make([]byte, 16)
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatalf("server answered a garbage frame instead of closing")
+	}
+	raw.Close()
+
+	// A connection that never speaks: reaped by the idle deadline, counted
+	// as an idle close, not a wire error.
+	idle, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("idle dial: %v", err)
+	}
+	idle.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := idle.Read(buf); err == nil {
+		t.Fatalf("idle connection was not reaped")
+	}
+	idle.Close()
+
+	if got := srv.met.WireErrors.Value(); got != 1 {
+		t.Fatalf("WireErrors = %d, want 1", got)
+	}
+	if got := srv.met.IdleCloses.Value(); got != 1 {
+		t.Fatalf("IdleCloses = %d, want 1", got)
+	}
+
+	// Healthy clients are unaffected — and can pipeline queries over one
+	// connection concurrently.
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := cl.Query("SUM(UnitSales) BY Time:Year"); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("pipelined query: %v", err)
 	}
 }
 

@@ -131,15 +131,22 @@ func NewStrategyMetrics(r *Registry, strategy string) StrategyMetrics {
 	}
 }
 
-// BackendMetrics instruments backend.Engine: request traffic and the split
-// between real compute and the simulated network/DBMS latency.
+// BackendMetrics instruments backend.Engine and backend.Server: request
+// traffic, the split between real compute and the simulated network/DBMS
+// latency, and the wire-level frame/byte/error accounting.
 type BackendMetrics struct {
 	Requests      *Counter
 	Chunks        *Counter
 	TuplesScanned *Counter
 	ResultCells   *Counter
 	WireErrors    *Counter
+	IdleCloses    *Counter
 	Panics        *Counter
+	WireBytesIn   *Counter
+	WireBytesOut  *Counter
+	FramesIn      *Counter
+	FramesOut     *Counter
+	InFlight      *Gauge
 	Wall          *Histogram
 	Sim           *Histogram
 }
@@ -151,8 +158,14 @@ func NewBackendMetrics(r *Registry) BackendMetrics {
 		Chunks:        r.Counter("aggcache_backend_chunks_computed_total", "Chunks computed at the backend."),
 		TuplesScanned: r.Counter("aggcache_backend_tuples_scanned_total", "Fact/aggregate tuples scanned."),
 		ResultCells:   r.Counter("aggcache_backend_result_cells_total", "Result cells produced."),
-		WireErrors:    r.Counter("aggcache_backend_wire_errors_total", "Connections torn down by malformed frames, resets or I/O deadline expiry."),
+		WireErrors:    r.Counter("aggcache_backend_wire_errors_total", "Connections torn down by malformed frames, resets or write failures."),
+		IdleCloses:    r.Counter("aggcache_backend_idle_closes_total", "Idle connections reaped by the read deadline (not errors)."),
 		Panics:        r.Counter("aggcache_backend_request_panics_total", "Requests whose handler panicked and was recovered into an error response."),
+		WireBytesIn:   r.Counter("aggcache_backend_wire_bytes_in_total", "Frame bytes received by the backend server."),
+		WireBytesOut:  r.Counter("aggcache_backend_wire_bytes_out_total", "Frame bytes sent by the backend server."),
+		FramesIn:      r.Counter("aggcache_backend_wire_frames_in_total", "Frames received by the backend server."),
+		FramesOut:     r.Counter("aggcache_backend_wire_frames_out_total", "Frames sent by the backend server."),
+		InFlight:      r.Gauge("aggcache_backend_requests_in_flight", "Requests currently executing across all connections."),
 		Wall:          r.Histogram("aggcache_backend_request_seconds", "Real compute time per backend request."),
 		Sim:           r.Histogram("aggcache_backend_sim_seconds", "Simulated network/DBMS latency charged per backend request."),
 	}
@@ -167,6 +180,13 @@ type ServerMetrics struct {
 	ExecuteErrors     *Counter
 	TimeoutErrors     *Counter
 	UnavailableErrors *Counter
+	WireErrors        *Counter
+	IdleCloses        *Counter
+	WireBytesIn       *Counter
+	WireBytesOut      *Counter
+	FramesIn          *Counter
+	FramesOut         *Counter
+	InFlight          *Gauge
 	Latency           *Histogram
 }
 
@@ -179,26 +199,44 @@ func NewServerMetrics(r *Registry) ServerMetrics {
 		ExecuteErrors:     r.Counter(`aggcache_server_request_errors_total{kind="execute"}`, ""),
 		TimeoutErrors:     r.Counter(`aggcache_server_request_errors_total{kind="timeout"}`, ""),
 		UnavailableErrors: r.Counter(`aggcache_server_request_errors_total{kind="unavailable"}`, ""),
+		WireErrors:        r.Counter("aggcache_server_wire_errors_total", "Client connections torn down by malformed frames, resets or write failures."),
+		IdleCloses:        r.Counter("aggcache_server_idle_closes_total", "Idle client connections reaped by the read deadline (not errors)."),
+		WireBytesIn:       r.Counter("aggcache_server_wire_bytes_in_total", "Frame bytes received from clients."),
+		WireBytesOut:      r.Counter("aggcache_server_wire_bytes_out_total", "Frame bytes sent to clients."),
+		FramesIn:          r.Counter("aggcache_server_wire_frames_in_total", "Frames received from clients."),
+		FramesOut:         r.Counter("aggcache_server_wire_frames_out_total", "Frames sent to clients."),
+		InFlight:          r.Gauge("aggcache_server_requests_in_flight", "Client requests currently executing."),
 		Latency:           r.Histogram("aggcache_server_request_seconds", "Server-side wall time per request."),
 	}
 }
 
 // RemoteMetrics instruments the self-healing backend.Remote client: retry
-// and redial churn plus requests abandoned as unavailable.
+// and redial churn, requests abandoned as unavailable, and the multiplexed
+// wire traffic.
 type RemoteMetrics struct {
-	Requests    *Counter
-	Retries     *Counter
-	Redials     *Counter
-	Unavailable *Counter
+	Requests     *Counter
+	Retries      *Counter
+	Redials      *Counter
+	Unavailable  *Counter
+	WireBytesIn  *Counter
+	WireBytesOut *Counter
+	FramesIn     *Counter
+	FramesOut    *Counter
+	InFlight     *Gauge
 }
 
 // NewRemoteMetrics registers the remote-client metric set on r.
 func NewRemoteMetrics(r *Registry) RemoteMetrics {
 	return RemoteMetrics{
-		Requests:    r.Counter("aggcache_remote_requests_total", "Backend wire requests issued by the remote client."),
-		Retries:     r.Counter("aggcache_remote_retries_total", "Attempts beyond the first, after a transient failure."),
-		Redials:     r.Counter("aggcache_remote_redials_total", "Reconnects after a torn-down backend connection."),
-		Unavailable: r.Counter("aggcache_remote_unavailable_total", "Requests abandoned after exhausting the retry budget."),
+		Requests:     r.Counter("aggcache_remote_requests_total", "Backend wire requests issued by the remote client."),
+		Retries:      r.Counter("aggcache_remote_retries_total", "Attempts beyond the first, after a transient failure."),
+		Redials:      r.Counter("aggcache_remote_redials_total", "Reconnects after a torn-down backend connection."),
+		Unavailable:  r.Counter("aggcache_remote_unavailable_total", "Requests abandoned after exhausting the retry budget."),
+		WireBytesIn:  r.Counter("aggcache_remote_wire_bytes_in_total", "Frame bytes received from the backend."),
+		WireBytesOut: r.Counter("aggcache_remote_wire_bytes_out_total", "Frame bytes sent to the backend."),
+		FramesIn:     r.Counter("aggcache_remote_wire_frames_in_total", "Frames received from the backend."),
+		FramesOut:    r.Counter("aggcache_remote_wire_frames_out_total", "Frames sent to the backend."),
+		InFlight:     r.Gauge("aggcache_remote_requests_in_flight", "Exchanges currently in flight on the multiplexed connection."),
 	}
 }
 

@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"aggcache/internal/chunk"
+)
+
+// FuzzFrame feeds arbitrary bytes to the frame reader and then to the chunk
+// payload decoder. The invariants under fuzzing: no panic, no runaway
+// allocation (the 1 MiB payload cap plus the incremental read make a hostile
+// length prefix harmless), and anything the reader does accept round-trips
+// byte-identically through the writer.
+func FuzzFrame(f *testing.F) {
+	// Seed corpus: valid frames of each interesting shape, plus targeted
+	// corruptions the unit tests also cover.
+	add := func(fr Frame) {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, Metrics{})
+		if err := w.WriteFrame(fr); err != nil {
+			f.Fatalf("seed frame: %v", err)
+		}
+		f.Add(buf.Bytes())
+	}
+	add(Frame{Type: 1, ID: 1})
+	add(Frame{Type: 0x81, Flags: FlagTransient, ID: 7, Payload: []byte("payload")})
+	add(Frame{Type: 0xE0, ID: 1<<63 + 5, Payload: bytes.Repeat([]byte{9}, 3000)})
+	f.Add([]byte("AGW"))                                  // truncated header
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))                 // bad magic
+	f.Add(append([]byte("AGW\x02"), make([]byte, 16)...)) // bad version
+	huge := append([]byte("AGW\x01\x01\x00\x00\x00"), make([]byte, 8)...)
+	huge = binary.LittleEndian.AppendUint32(huge, 0xFFFFFFF0) // oversized claim
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data), 1<<20, Metrics{})
+		for {
+			fr, err := r.ReadFrame()
+			if err != nil {
+				return
+			}
+			if len(fr.Payload) > len(data) {
+				t.Fatalf("decoded payload of %d bytes from %d input bytes", len(fr.Payload), len(data))
+			}
+			// An accepted frame must survive a write/read round trip intact.
+			var buf bytes.Buffer
+			if err := NewWriter(&buf, Metrics{}).WriteFrame(fr); err != nil {
+				t.Fatalf("re-encode accepted frame: %v", err)
+			}
+			got, err := NewReader(&buf, 1<<20, Metrics{}).ReadFrame()
+			if err != nil {
+				t.Fatalf("re-decode accepted frame: %v", err)
+			}
+			if got.Type != fr.Type || got.Flags != fr.Flags || got.ID != fr.ID || !bytes.Equal(got.Payload, fr.Payload) {
+				t.Fatalf("frame did not round-trip: %+v vs %+v", got, fr)
+			}
+		}
+	})
+}
+
+// FuzzChunkDecode throws arbitrary bytes at the chunk slab decoder: it must
+// either return a chunk whose arrays are consistent with the bytes consumed,
+// or cleanly latch an error — never panic, never allocate arrays larger than
+// the payload could possibly back.
+func FuzzChunkDecode(f *testing.F) {
+	f.Add(AppendChunk(nil, testChunk(3, true)))
+	f.Add(AppendChunk(nil, testChunk(1, false)))
+	f.Add([]byte{})
+	bad := AppendChunk(nil, testChunk(2, true))
+	binary.LittleEndian.PutUint32(bad[8:12], 1<<31-1) // inflated cell count
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDec(data)
+		c := d.Chunk()
+		if c == nil {
+			if d.Err() == nil {
+				t.Fatalf("nil chunk without a latched error")
+			}
+			return
+		}
+		if len(c.Keys) != len(c.Vals) {
+			t.Fatalf("inconsistent arrays: %d keys, %d vals", len(c.Keys), len(c.Vals))
+		}
+		if c.Counts != nil && len(c.Counts) != len(c.Keys) {
+			t.Fatalf("inconsistent counts: %d vs %d", len(c.Counts), len(c.Keys))
+		}
+		if 16*len(c.Keys) > len(data) {
+			t.Fatalf("decoded %d cells from %d payload bytes", len(c.Keys), len(data))
+		}
+	})
+}
+
+func testChunk(cells int, counts bool) *chunk.Chunk {
+	c := &chunk.Chunk{GB: 2, Num: 4}
+	for i := 0; i < cells; i++ {
+		c.Keys = append(c.Keys, uint64(i*i+1))
+		c.Vals = append(c.Vals, float64(i)*1.5)
+		if counts {
+			c.Counts = append(c.Counts, int64(i+1))
+		}
+	}
+	return c
+}

@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+
+	"aggcache/internal/chunk"
+	"aggcache/internal/lattice"
+)
+
+// This file is the payload codec: append-style encoders building onto a
+// caller-owned byte slice, and a bounds-checked decoding cursor. Everything
+// is little-endian and reflection-free, and every decoder validates claimed
+// element counts against the bytes actually present before allocating, so a
+// malformed payload yields an error, never a panic or an outsized make().
+
+// AppendU8 appends one byte.
+func AppendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+// AppendU32 appends a little-endian uint32.
+func AppendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+
+// AppendU64 appends a little-endian uint64.
+func AppendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// AppendF64 appends a float64 as its IEEE-754 bits.
+func AppendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// AppendString appends a uint32 length prefix and the string bytes.
+func AppendString(b []byte, s string) []byte {
+	b = AppendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// AppendChunk appends one chunk as a flat slab: group-by, chunk number, cell
+// count, a counts-present flag, then the key/value/count arrays back to
+// back. The arrays are copied with bulk appends — no per-cell boxing.
+func AppendChunk(b []byte, c *chunk.Chunk) []byte {
+	b = AppendU32(b, uint32(c.GB))
+	b = AppendU32(b, uint32(c.Num))
+	b = AppendU32(b, uint32(len(c.Keys)))
+	if c.Counts != nil {
+		b = AppendU8(b, 1)
+	} else {
+		b = AppendU8(b, 0)
+	}
+	for _, k := range c.Keys {
+		b = binary.LittleEndian.AppendUint64(b, k)
+	}
+	for _, v := range c.Vals {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	for _, n := range c.Counts {
+		b = binary.LittleEndian.AppendUint64(b, uint64(n))
+	}
+	return b
+}
+
+// ChunkWireSize returns the encoded size of a chunk, for pre-sizing buffers.
+func ChunkWireSize(c *chunk.Chunk) int {
+	n := 13 + 16*len(c.Keys)
+	if c.Counts != nil {
+		n += 8 * len(c.Keys)
+	}
+	return n
+}
+
+// Dec is a decoding cursor over one payload. The first bounds violation
+// latches the error; every later read returns the zero value, so decoders
+// can run straight-line and check Err once at the end.
+type Dec struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+// NewDec returns a cursor over b.
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+// Err reports whether the payload was malformed (truncated or
+// inconsistent).
+func (d *Dec) Err() error {
+	if d.bad {
+		return ErrTruncated
+	}
+	return nil
+}
+
+// Remaining returns the number of unread bytes.
+func (d *Dec) Remaining() int { return len(d.b) - d.off }
+
+func (d *Dec) fail() { d.bad = true }
+
+// take returns the next n bytes, or nil after latching the error.
+func (d *Dec) take(n int) []byte {
+	if d.bad || n < 0 || n > len(d.b)-d.off {
+		d.fail()
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() uint8 {
+	s := d.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+// U32 reads a little-endian uint32.
+func (d *Dec) U32() uint32 {
+	s := d.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Dec) U64() uint64 {
+	s := d.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+// F64 reads a float64.
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// String reads a length-prefixed string. The length is validated against
+// the remaining payload before the bytes are copied.
+func (d *Dec) String() string {
+	n := d.U32()
+	s := d.take(int(n))
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+
+// Chunk decodes one chunk slab into freshly allocated arrays (the caller —
+// a cache — may retain them indefinitely, so they are never pooled; see
+// DESIGN.md §9 on chunk ownership). Returns nil on malformed input.
+func (d *Dec) Chunk() *chunk.Chunk {
+	gb := d.U32()
+	num := d.U32()
+	cells := int(d.U32())
+	hasCounts := d.U8()
+	if d.bad || hasCounts > 1 {
+		d.fail()
+		return nil
+	}
+	need := 16 * cells
+	if hasCounts == 1 {
+		need += 8 * cells
+	}
+	if cells < 0 || need > d.Remaining() {
+		d.fail()
+		return nil
+	}
+	c := &chunk.Chunk{
+		GB:   lattice.ID(gb),
+		Num:  int32(num),
+		Keys: make([]uint64, cells),
+		Vals: make([]float64, cells),
+	}
+	kb := d.take(8 * cells)
+	for i := range c.Keys {
+		c.Keys[i] = binary.LittleEndian.Uint64(kb[8*i:])
+	}
+	vb := d.take(8 * cells)
+	for i := range c.Vals {
+		c.Vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(vb[8*i:]))
+	}
+	if hasCounts == 1 {
+		cb := d.take(8 * cells)
+		c.Counts = make([]int64, cells)
+		for i := range c.Counts {
+			c.Counts[i] = int64(binary.LittleEndian.Uint64(cb[8*i:]))
+		}
+	}
+	return c
+}

@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aggcache/internal/obs"
+)
+
+// Timeouts bounds one side of a wire conversation so a stuck peer or a
+// runaway request can never wedge a serving goroutine forever. It is shared
+// by the backend and middle-tier servers.
+type Timeouts struct {
+	// Read bounds the wait for the next request frame on an idle
+	// connection; connections idle longer are closed (counted as an idle
+	// close, not a wire error). 0 means no limit — middle tiers
+	// legitimately keep idle persistent connections.
+	Read time.Duration
+	// Write bounds writing one response to a slow or stuck client.
+	Write time.Duration
+	// Request bounds the computation for one request; the reply is a
+	// transient in-band error rather than a torn-down connection. 0 means
+	// no limit.
+	Request time.Duration
+}
+
+// ConnOptions configures ServeConn.
+type ConnOptions struct {
+	// Timeouts is the deadline policy (Request is applied by the handler,
+	// not by ServeConn itself).
+	Timeouts Timeouts
+	// MaxPayload bounds request frames; 0 means DefaultMaxPayload.
+	MaxPayload int
+	// MaxInFlight caps concurrently executing handlers per connection;
+	// 0 means 32. Excess pipelined requests queue on the read loop.
+	MaxInFlight int
+	// Metrics receives the frame/byte counters and the in-flight gauge.
+	Metrics Metrics
+	// WireErrors counts connections lost to malformed frames, resets, or
+	// write failures. IdleCloses counts connections reaped by Timeouts.Read.
+	// Both may be nil.
+	WireErrors *obs.Counter
+	IdleCloses *obs.Counter
+}
+
+// Handler serves one request frame and returns the response frame. The
+// response's ID is overwritten with the request's id before writing, so
+// handlers only set Type, Flags and Payload. Handlers run concurrently —
+// one goroutine per in-flight request — and must be safe for that.
+type Handler func(fr *Frame) Frame
+
+// ServeConn runs a connection's serve loop until the peer hangs up, the
+// idle deadline passes, or the stream fails: frames are read sequentially,
+// dispatched to concurrently running handlers (bounded by MaxInFlight), and
+// responses are written back under a write lock in completion order — the
+// server half of the pipelining protocol. It returns after all in-flight
+// handlers have finished; the caller owns closing conn.
+func ServeConn(conn net.Conn, opt ConnOptions, h Handler) {
+	if opt.MaxInFlight <= 0 {
+		opt.MaxInFlight = 32
+	}
+	r := NewReader(conn, opt.MaxPayload, opt.Metrics)
+	w := NewWriter(conn, opt.Metrics)
+	var (
+		wmu      sync.Mutex
+		wg       sync.WaitGroup
+		inflight atomic.Int64
+		dead     atomic.Bool // a handler write failed and closed conn
+	)
+	sem := make(chan struct{}, opt.MaxInFlight)
+	defer wg.Wait()
+	for {
+		// The idle deadline applies only when nothing is being served: a
+		// client waiting on slow pipelined responses is not idle. Handlers
+		// re-arm the deadline when the last in-flight request completes.
+		if opt.Timeouts.Read > 0 {
+			if inflight.Load() == 0 {
+				conn.SetReadDeadline(time.Now().Add(opt.Timeouts.Read))
+			} else {
+				conn.SetReadDeadline(time.Time{})
+			}
+		}
+		fr, err := r.ReadFrame()
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF):
+				// The client's clean goodbye.
+			case dead.Load() || errors.Is(err, net.ErrClosed):
+				// We tore the connection down ourselves; already counted.
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				opt.IdleCloses.Inc()
+			default:
+				opt.WireErrors.Inc()
+			}
+			return
+		}
+		sem <- struct{}{}
+		inflight.Add(1)
+		opt.Metrics.InFlight.Add(1)
+		wg.Add(1)
+		go func(fr Frame) {
+			defer func() {
+				opt.Metrics.InFlight.Add(-1)
+				if inflight.Add(-1) == 0 && opt.Timeouts.Read > 0 {
+					conn.SetReadDeadline(time.Now().Add(opt.Timeouts.Read))
+				}
+				<-sem
+				wg.Done()
+			}()
+			resp := h(&fr)
+			resp.ID = fr.ID
+			wmu.Lock()
+			if opt.Timeouts.Write > 0 {
+				conn.SetWriteDeadline(time.Now().Add(opt.Timeouts.Write))
+			}
+			werr := w.WriteFrame(resp)
+			wmu.Unlock()
+			if werr != nil && !dead.Swap(true) {
+				// The stream position is unknown after a failed write; drop
+				// the connection under the read loop.
+				opt.WireErrors.Inc()
+				conn.Close()
+			}
+		}(fr)
+	}
+}
