@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernel bench-shards bench-wire soak-shards fuzz-wire fmt cover chaos ci FORCE
+.PHONY: build test vet race bench bench-kernel bench-shards bench-wire bench-cluster soak-shards soak-cluster fuzz-wire fuzz-peer fmt lint cover chaos ci FORCE
 
 build:
 	$(GO) build ./...
@@ -35,17 +35,32 @@ bench-shards:
 bench-wire:
 	$(GO) run ./cmd/aggbench -scale tiny -exp wire
 
+# bench-cluster sweeps the distributed cache tier from 1 to 4 cooperating
+# nodes on the proximity-heavy mix (writes BENCH_7.json).
+bench-cluster:
+	$(GO) run ./cmd/aggbench -scale small -exp cluster
+
 # fuzz-wire smoke-fuzzes the frame and chunk-slab codecs: malformed input
 # must never panic or over-allocate.
 fuzz-wire:
 	$(GO) test ./internal/wire -run XXX -fuzz FuzzFrame -fuzztime 10s
 	$(GO) test ./internal/wire -run XXX -fuzz FuzzChunkDecode -fuzztime 10s
 
+# fuzz-peer smoke-fuzzes the peer cache protocol decoders (PeerGet/PeerChunk/
+# PeerPut/PeerAck) the same way.
+fuzz-peer:
+	$(GO) test ./internal/mtier -run XXX -fuzz FuzzPeerFrame -fuzztime 10s
+
 # soak-shards runs the sharded-store concurrency suite under the race
 # detector: the cache-level invariant soak plus the engine-level soak whose
 # 4-shard subject must match a serialized single-lock reference.
 soak-shards:
 	$(GO) test -race -run 'Sharded|ShardDistribution|StoreStats|ConcurrentSoak|EngineConcurrent' ./internal/cache ./internal/core
+
+# soak-cluster runs the 3-node in-process cluster under the race detector
+# with one fault-injected peer: every query must still be served.
+soak-cluster:
+	$(GO) test -race -run 'ClusterSoak' ./internal/mtier -count=1 -v
 
 # Full aggbench reports are regenerated on demand, never committed:
 # `make results_small.txt` (or _medium/_full).
@@ -58,9 +73,18 @@ FORCE:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
+# lint is fmt + vet, plus staticcheck and govulncheck when installed (CI
+# installs both; a bare checkout degrades gracefully).
+lint: fmt vet
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else echo "govulncheck not installed; skipping"; fi
+
+# cover writes the profile to a temp path (RUNNER_TEMP on CI) so a stray
+# cover.out never lands in the worktree.
+COVERFILE ?= $(or $(RUNNER_TEMP),/tmp)/cover.out
 cover:
-	$(GO) test -coverprofile=cover.out ./...
-	$(GO) tool cover -func=cover.out | tail -1
+	$(GO) test -coverprofile=$(COVERFILE) ./...
+	$(GO) tool cover -func=$(COVERFILE) | tail -1
 
 # chaos runs the fault-injection suite under the race detector and the
 # availability experiment end to end.
@@ -68,4 +92,4 @@ chaos:
 	$(GO) test -race -run 'Chaos|Degraded|Flight|Breaker|Faulty|Remote|Malformed' ./internal/core ./internal/backend ./internal/mtier
 	$(GO) run ./cmd/aggbench -scale tiny -exp chaos
 
-ci: fmt vet race cover
+ci: lint race cover

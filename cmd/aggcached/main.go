@@ -8,6 +8,8 @@
 //	aggcached -scale small -backend 127.0.0.1:7070 -preload        # against backendd
 //	aggcached -scale small -ops 127.0.0.1:9090                     # + live observability
 //	aggcached -backend 127.0.0.1:7070 -query-timeout 2s            # bounded queries
+//	aggcached -listen 127.0.0.1:7071 \
+//	          -peers 127.0.0.1:7071,127.0.0.1:7072                 # 2-node cluster member
 //
 // With -ops set, an HTTP listener serves /metrics (Prometheus text format),
 // /healthz, /traces (recent query provenance as JSON) and /debug/pprof/.
@@ -26,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"aggcache/internal/apb"
@@ -67,6 +71,10 @@ func main() {
 		maxFrameFlag    = flag.Int("wire-max-frame", 0, "max wire frame payload in bytes, both tiers (0 = 64MiB default)")
 		clientReadFlag  = flag.Duration("client-read-timeout", mtier.DefaultTimeouts.Read, "idle deadline per client connection awaiting the next query (0 = none)")
 		clientWriteFlag = flag.Duration("client-write-timeout", mtier.DefaultTimeouts.Write, "deadline for writing one response to a client")
+
+		peersFlag     = flag.String("peers", "", "comma-separated cluster membership (aggcached listen addresses, including this node's own); empty = no cluster tier")
+		peerSelfFlag  = flag.String("peer-self", "", "this node's address as it appears in -peers (default: the -listen address)")
+		peersFileFlag = flag.String("peers-file", "", "file with one peer address per line, merged with -peers at startup and re-read on SIGHUP to rebuild the ring")
 	)
 	flag.Parse()
 
@@ -156,6 +164,40 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Cluster tier: compose the local store with the consistent-hash peer
+	// ring. The engine sees one cache.Store; misses route to the key's ring
+	// owner before the backend (see DESIGN.md §12).
+	var pc *cache.Peered
+	if *peersFlag != "" || *peersFileFlag != "" {
+		members := splitPeers(*peersFlag)
+		if *peersFileFlag != "" {
+			fm, err := readPeersFile(*peersFileFlag)
+			if err != nil {
+				fatal(err)
+			}
+			members = append(members, fm...)
+		}
+		self := *peerSelfFlag
+		if self == "" {
+			self = *listenFlag
+		}
+		pcfg := cache.PeeredConfig{
+			Self:    self,
+			Members: members,
+			Dial:    func(addr string) cache.Peer { return mtier.NewPeerClient(addr, *maxFrameFlag) },
+		}
+		if reg != nil {
+			pcfg.Metrics = func(peer string) obs.PeerMetrics { return obs.NewPeerMetrics(reg, peer) }
+		}
+		pc, err = cache.NewPeered(c, pcfg)
+		if err != nil {
+			fatal(err)
+		}
+		c = pc
+		fmt.Printf("aggcached: cluster %s, self=%s\n", pc.Ring(), self)
+	}
+
 	eopts := []core.Option{core.WithCostBypass(*bypassFlag)}
 	if reg != nil {
 		eopts = append(eopts, core.WithMetrics(obs.NewEngineMetrics(reg)))
@@ -208,6 +250,28 @@ func main() {
 		fmt.Printf("aggcached: ops endpoint on http://%s/metrics\n", opsAddr)
 	}
 
+	// SIGHUP reloads the cluster membership from -peers-file and rebuilds
+	// the ring in place; traffic in flight routes by whichever ring it
+	// loaded first.
+	if pc != nil && *peersFileFlag != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				members, err := readPeersFile(*peersFileFlag)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "aggcached: peers reload:", err)
+					continue
+				}
+				if err := pc.Rebuild(members); err != nil {
+					fmt.Fprintln(os.Stderr, "aggcached: peers reload:", err)
+					continue
+				}
+				fmt.Printf("aggcached: peer ring rebuilt: %s\n", pc.Ring())
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
@@ -215,8 +279,16 @@ func main() {
 	st := eng.Stats()
 	fmt.Printf("aggcached: served %d queries, %d complete hits, %d backend trips\n",
 		st.Queries, st.CompleteHits, st.BackendQueries)
+	if pc != nil {
+		ps := pc.PeerStats()
+		fmt.Printf("aggcached: cluster: %d peer fills, %d fill misses, %d fill errors, %d puts\n",
+			ps.Fills, ps.FillMisses, ps.FillErrors, ps.Puts)
+	}
 	if err := srv.Close(); err != nil {
 		fatal(err)
+	}
+	if pc != nil {
+		pc.Close()
 	}
 	if *snapFlag != "" {
 		f, err := os.Create(*snapFlag)
@@ -231,6 +303,35 @@ func main() {
 		}
 		fmt.Printf("aggcached: cache snapshot written to %s\n", *snapFlag)
 	}
+}
+
+// splitPeers parses a comma-separated peer list, dropping empty entries.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// readPeersFile reads one peer address per line; blank lines and #-comments
+// are skipped.
+func readPeersFile(path string) ([]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("peers file: %w", err)
+	}
+	var out []string
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -28,6 +28,7 @@ import (
 	"aggcache/internal/data"
 	"aggcache/internal/mdq"
 	"aggcache/internal/metrics"
+	"aggcache/internal/mtier"
 	"aggcache/internal/sizer"
 )
 
@@ -41,6 +42,7 @@ func main() {
 		backendFlag = flag.String("backend", "", "remote backend address (empty = in-process)")
 		rowsFlag    = flag.Int("rows", 20, "max result rows to print")
 		maxFrame    = flag.Int("wire-max-frame", 0, "max wire frame payload in bytes for the remote backend (0 = 64MiB default)")
+		peersFlag   = flag.String("peers", "", "comma-separated aggcached cluster addresses; local misses are peer-filled from the key's ring owner before the backend")
 	)
 	flag.Parse()
 
@@ -94,6 +96,29 @@ func main() {
 	c, err := cache.New(*cacheKBFlag<<10, cache.NewTwoLevel(), copts...)
 	if err != nil {
 		fatal(err)
+	}
+	// Cluster tier: with -peers, local misses consult the key's ring owner
+	// in the aggcached group before the backend. Self is empty — the shell
+	// is a pure client of the ring, every owner is remote — and the same
+	// deterministic ring construction the servers use guarantees the shell
+	// routes each key to the node that would own it.
+	if *peersFlag != "" {
+		var members []string
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				members = append(members, p)
+			}
+		}
+		pc, err := cache.NewPeered(c, cache.PeeredConfig{
+			Members: members,
+			Dial:    func(addr string) cache.Peer { return mtier.NewPeerClient(addr, *maxFrame) },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer pc.Close()
+		c = pc
+		fmt.Printf("olapcli: cluster %s\n", pc.Ring())
 	}
 	eng, err := core.New(grid, c, strat, be, sz)
 	if err != nil {
@@ -154,6 +179,10 @@ func runQuery(grid *chunk.Grid, eng *core.Engine, line string, maxRows int) {
 		if res.AggregatedTuples > 0 {
 			source = "cache (aggregated)"
 		}
+	} else if res.PeerChunks == res.MissChunks {
+		source = "peers"
+	} else if res.PeerChunks > 0 {
+		source = "backend+peers"
 	}
 	fmt.Printf("  [%s; %d hit / %d miss chunks; lookup %s agg %s update %s backend %s ms]\n",
 		source, res.HitChunks, res.MissChunks,
@@ -209,6 +238,11 @@ func printStats(eng *core.Engine) {
 	st := eng.Stats()
 	fmt.Printf("  queries=%d complete-hits=%d backend-queries=%d backend-tuples=%d agg-tuples=%d\n",
 		st.Queries, st.CompleteHits, st.BackendQueries, st.BackendTuples, st.AggTuples)
+	if pc, ok := eng.Cache().(*cache.Peered); ok {
+		ps := pc.PeerStats()
+		fmt.Printf("  cluster: peer-chunks=%d fills=%d fill-misses=%d fill-errors=%d skips=%d\n",
+			st.PeerChunks, ps.Fills, ps.FillMisses, ps.FillErrors, ps.FillSkips)
+	}
 	var b metrics.Breakdown = st.Breakdown
 	fmt.Printf("  cumulative: %s\n", b.String())
 	fmt.Printf("  cache: %d chunks, %dKB/%dKB\n",

@@ -78,6 +78,7 @@ var experiments = []struct {
 	{"wire", one(Wire)},
 	{"observability", one(Observability)},
 	{"chaos", one(Chaos)},
+	{"cluster", one(Cluster)},
 }
 
 // aliases maps alternative ids (artifacts that share a runner) to canonical

@@ -207,6 +207,25 @@ func (c *Cache) Get(k Key) (*chunk.Chunk, bool) {
 	return e.Data, true
 }
 
+// GetInfo is Get plus the entry's replacement attributes: the peer tier
+// serves PeerGet from it so a fill carries the owner's class and benefit
+// across the wire. Serving a peer counts as an access — a chunk the group
+// keeps asking for should stay resident on its owner.
+func (c *Cache) GetInfo(k Key) (*chunk.Chunk, Class, float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.stats.Misses++
+		c.met.Misses.Inc()
+		return nil, 0, 0, false
+	}
+	c.stats.Hits++
+	c.met.Hits.Inc()
+	c.policy.Accessed(e)
+	return e.Data, e.Class, e.Benefit, true
+}
+
 // Peek returns the chunk payload without touching replacement state or
 // hit/miss counters.
 func (c *Cache) Peek(k Key) (*chunk.Chunk, bool) {

@@ -1,0 +1,589 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aggcache/internal/chunk"
+	"aggcache/internal/obs"
+)
+
+// Peer is one remote cache node the Peered store can consult: a thin
+// chunk-granularity get/put surface over the peer wire protocol (the mtier
+// package provides the TCP implementation; tests substitute in-process
+// ones). Implementations must be safe for concurrent use and must honor the
+// context's deadline — a Peered store never waits on a peer longer than its
+// configured timeouts.
+type Peer interface {
+	// Get asks the peer for k. found=false with a nil error is an
+	// authoritative miss (the peer answered; it does not hold the chunk).
+	Get(ctx context.Context, k Key) (data *chunk.Chunk, cl Class, benefit float64, found bool, err error)
+	// Put hands the peer a chunk it owns on the ring, with the replacement
+	// attributes the local tier stored it under.
+	Put(ctx context.Context, k Key, data *chunk.Chunk, cl Class, benefit float64) error
+	// Close releases the peer's connection.
+	Close() error
+}
+
+// PeerDialer produces the Peer handle for a member address. Dialing must be
+// lazy or non-blocking: the Peered store calls it at construction and on
+// membership rebuild, before peers are necessarily reachable.
+type PeerDialer func(addr string) Peer
+
+// PeeredConfig configures NewPeered.
+type PeeredConfig struct {
+	// Self is this node's own address as it appears in Members. Keys the
+	// ring assigns to Self are served locally (miss → backend). Empty means
+	// this process is not a cluster member (e.g. olapcli routing into an
+	// aggcached group): every owner is remote.
+	Self string
+	// Members is the full static cluster membership, including Self when
+	// this node serves peers. Order does not matter — ring ownership is
+	// name-determined, so every member (and every client) agrees.
+	Members []string
+	// Vnodes is the virtual nodes per member (DefaultVnodes when <= 0).
+	Vnodes int
+	// Dial produces peer handles; required when Members names anyone but
+	// Self.
+	Dial PeerDialer
+	// GetTimeout bounds one peer-fill exchange (default 250ms): past it the
+	// fill degrades to the backend path rather than stalling the query.
+	GetTimeout time.Duration
+	// PutTimeout bounds one asynchronous replication put (default 2s).
+	PutTimeout time.Duration
+	// BreakerThreshold is the consecutive per-peer failure count that opens
+	// that peer's breaker (default 5; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open peer breaker rejects traffic
+	// before the next probe (default 2s).
+	BreakerCooldown time.Duration
+	// PutQueue bounds the asynchronous replication queue (default 256);
+	// puts beyond it are dropped and counted, never blocking an insert.
+	PutQueue int
+	// PutWorkers is the number of replication workers (default 2).
+	PutWorkers int
+	// Metrics, when set, supplies the per-peer observability bundle for
+	// each member address.
+	Metrics func(peer string) obs.PeerMetrics
+}
+
+func (c PeeredConfig) withDefaults() PeeredConfig {
+	if c.Vnodes <= 0 {
+		c.Vnodes = DefaultVnodes
+	}
+	if c.GetTimeout <= 0 {
+		c.GetTimeout = 250 * time.Millisecond
+	}
+	if c.PutTimeout <= 0 {
+		c.PutTimeout = 2 * time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.PutQueue <= 0 {
+		c.PutQueue = 256
+	}
+	if c.PutWorkers <= 0 {
+		c.PutWorkers = 2
+	}
+	return c
+}
+
+// PeerStats counts the cluster tier's activity, aggregated over all peers.
+type PeerStats struct {
+	// Fills counts chunks obtained from a peer (peer-fill hits).
+	Fills int64
+	// FillMisses counts peer exchanges that answered authoritatively
+	// without the chunk.
+	FillMisses int64
+	// FillErrors counts failed peer exchanges (timeout, connection, or
+	// protocol failure).
+	FillErrors int64
+	// FillSkips counts fills suppressed by an open per-peer breaker.
+	FillSkips int64
+	// Puts counts successful replication puts to owner peers.
+	Puts int64
+	// PutDrops counts puts dropped because the replication queue was full
+	// or the owner's breaker was open.
+	PutDrops int64
+	// PutErrors counts failed replication puts.
+	PutErrors int64
+}
+
+// peerBreakerState mirrors the backend breaker's gauge encoding
+// (0 closed, 1 half-open/probing, 2 open).
+const (
+	peerClosed int64 = 0
+	peerProbe  int64 = 1
+	peerOpen   int64 = 2
+)
+
+// peerState is one remote member: its connection handle plus the per-peer
+// circuit breaker. The breaker follows the PR-3 taxonomy at the granularity
+// a cache tier needs: consecutive failures open it, an open breaker rejects
+// both fills and puts until the cooldown passes, then a single probe
+// exchange decides whether it closes again. A dead peer therefore costs the
+// steady state nothing — keys it owns degrade to local+backend.
+type peerState struct {
+	name string
+	peer Peer
+	met  obs.PeerMetrics
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+	probing   bool
+}
+
+// allow reports whether an exchange may proceed, claiming the half-open
+// probe slot when the cooldown has passed.
+func (p *peerState) allow(threshold int, now time.Time) bool {
+	if threshold < 0 {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fails < threshold {
+		return true
+	}
+	if now.Before(p.openUntil) {
+		return false
+	}
+	if p.probing {
+		// Someone else holds the probe; stay degraded until it reports.
+		return false
+	}
+	p.probing = true
+	p.met.BreakerState.Set(peerProbe)
+	return true
+}
+
+// report feeds an exchange outcome into the breaker.
+func (p *peerState) report(ok bool, threshold int, cooldown time.Duration, now time.Time) {
+	if threshold < 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.probing = false
+	if ok {
+		p.fails = 0
+		p.met.BreakerState.Set(peerClosed)
+		return
+	}
+	p.fails++
+	if p.fails >= threshold {
+		p.openUntil = now.Add(cooldown)
+		p.met.BreakerState.Set(peerOpen)
+	}
+}
+
+// peerFlight is one in-flight peer fill; concurrent fills of the same key
+// collapse onto it.
+type peerFlight struct {
+	done    chan struct{}
+	data    *chunk.Chunk
+	cl      Class
+	benefit float64
+	ok      bool
+}
+
+// peerPut is one queued replication put.
+type peerPut struct {
+	owner   string
+	key     Key
+	data    *chunk.Chunk
+	cl      Class
+	benefit float64
+}
+
+// Peered is a Store composing a local store (the hot tier — typically a
+// Sharded) with a consistent-hash ring of remote peers (the cluster tier):
+//
+//   - Get serves from the local tier; on a local miss the key's ring owner
+//     is asked before the caller falls through to the backend (PeerFill —
+//     the engine calls it explicitly for strategy-declared misses too).
+//     Concurrent fills of one key collapse into a single exchange.
+//   - Insert stores locally and, for backend-class chunks whose ring owner
+//     is a remote peer, replicates asynchronously (best-effort, bounded
+//     queue) so the whole group can reuse this node's backend fills.
+//   - A per-peer circuit breaker (threshold/cooldown, the PR-3 taxonomy)
+//     degrades a dead peer to local+backend service without blocking.
+//
+// Everything else delegates to the local store, so snapshots, strategies
+// and reports see exactly the local tier.
+type Peered struct {
+	local Store
+	cfg   PeeredConfig
+
+	ring atomic.Pointer[Ring]
+
+	mu    sync.Mutex // guards peers (membership rebuilds)
+	peers map[string]*peerState
+
+	fmu     sync.Mutex
+	flights map[Key]*peerFlight
+
+	puts   chan peerPut
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	fills      atomic.Int64
+	fillMisses atomic.Int64
+	fillErrors atomic.Int64
+	fillSkips  atomic.Int64
+	putOKs     atomic.Int64
+	putDrops   atomic.Int64
+	putErrors  atomic.Int64
+}
+
+// NewPeered wraps local with the cluster tier described by cfg.
+func NewPeered(local Store, cfg PeeredConfig) (*Peered, error) {
+	if local == nil {
+		return nil, errors.New("cache: peered: local store is required")
+	}
+	cfg = cfg.withDefaults()
+	p := &Peered{
+		local:   local,
+		cfg:     cfg,
+		peers:   make(map[string]*peerState),
+		flights: make(map[Key]*peerFlight),
+		puts:    make(chan peerPut, cfg.PutQueue),
+	}
+	if err := p.Rebuild(cfg.Members); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.PutWorkers; i++ {
+		p.wg.Add(1)
+		go p.putLoop()
+	}
+	return p, nil
+}
+
+// Local returns the hot tier. Peer-serving endpoints answer PeerGet from it
+// so a chunk resident nowhere can never bounce between peers.
+func (p *Peered) Local() Store { return p.local }
+
+// Ring returns the current ring (for diagnostics and tests).
+func (p *Peered) Ring() *Ring { return p.ring.Load() }
+
+// Self returns the configured own-address.
+func (p *Peered) Self() string { return p.cfg.Self }
+
+// PeerStats returns the cluster tier's aggregate activity counters.
+func (p *Peered) PeerStats() PeerStats {
+	return PeerStats{
+		Fills:      p.fills.Load(),
+		FillMisses: p.fillMisses.Load(),
+		FillErrors: p.fillErrors.Load(),
+		FillSkips:  p.fillSkips.Load(),
+		Puts:       p.putOKs.Load(),
+		PutDrops:   p.putDrops.Load(),
+		PutErrors:  p.putErrors.Load(),
+	}
+}
+
+// Rebuild replaces the ring membership: the new ring is swapped in
+// atomically, peers leaving the membership are closed, and new members get
+// lazily-dialed handles. Safe to call while traffic is in flight — fills
+// route by whichever ring they load first, which is exactly the transient a
+// static-membership reload (SIGHUP) implies.
+func (p *Peered) Rebuild(members []string) error {
+	ring := NewRing(members, p.cfg.Vnodes)
+	remote := make([]string, 0, ring.Size())
+	for _, m := range ring.Members() {
+		if m != p.cfg.Self {
+			remote = append(remote, m)
+		}
+	}
+	if len(remote) > 0 && p.cfg.Dial == nil {
+		return fmt.Errorf("cache: peered: %d remote member(s) but no dialer", len(remote))
+	}
+	keep := make(map[string]bool, len(remote))
+	for _, m := range remote {
+		keep[m] = true
+	}
+	p.mu.Lock()
+	var stale []*peerState
+	for name, st := range p.peers {
+		if !keep[name] {
+			stale = append(stale, st)
+			delete(p.peers, name)
+		}
+	}
+	for _, m := range remote {
+		if _, ok := p.peers[m]; ok {
+			continue
+		}
+		st := &peerState{name: m, peer: p.cfg.Dial(m)}
+		if p.cfg.Metrics != nil {
+			st.met = p.cfg.Metrics(m)
+		}
+		p.peers[m] = st
+	}
+	p.mu.Unlock()
+	p.ring.Store(ring)
+	for _, st := range stale {
+		st.peer.Close()
+	}
+	return nil
+}
+
+// peer returns the state for a member name, nil for self/unknown members.
+func (p *Peered) peer(name string) *peerState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peers[name]
+}
+
+// Close stops the replication workers and closes every peer connection. The
+// local store is left untouched (the caller owns it).
+func (p *Peered) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	close(p.puts)
+	p.wg.Wait()
+	p.mu.Lock()
+	peers := make([]*peerState, 0, len(p.peers))
+	for _, st := range p.peers {
+		peers = append(peers, st)
+	}
+	p.peers = make(map[string]*peerState)
+	p.mu.Unlock()
+	for _, st := range peers {
+		st.peer.Close()
+	}
+	return nil
+}
+
+// PeerFill asks the key's ring owner for a chunk the local tier does not
+// hold, inserting it locally on success. It is the engine's pre-backend
+// hook: false means the caller should fall through to the backend. Fills of
+// the same key collapse into one exchange; a dead or breaker-open owner
+// returns false immediately.
+func (p *Peered) PeerFill(ctx context.Context, k Key) (*chunk.Chunk, bool) {
+	data, _, _, ok := p.fill(ctx, k)
+	return data, ok
+}
+
+// fill implements PeerFill, returning the replacement attributes too (the
+// transparent Get path reuses them).
+func (p *Peered) fill(ctx context.Context, k Key) (*chunk.Chunk, Class, float64, bool) {
+	if p.closed.Load() {
+		return nil, 0, 0, false
+	}
+	owner := p.ring.Load().Owner(k)
+	if owner == "" || owner == p.cfg.Self {
+		return nil, 0, 0, false
+	}
+	st := p.peer(owner)
+	if st == nil {
+		return nil, 0, 0, false
+	}
+
+	p.fmu.Lock()
+	if fl, ok := p.flights[k]; ok {
+		p.fmu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.data, fl.cl, fl.benefit, fl.ok
+		case <-ctx.Done():
+			return nil, 0, 0, false
+		}
+	}
+	fl := &peerFlight{done: make(chan struct{})}
+	p.flights[k] = fl
+	p.fmu.Unlock()
+
+	fl.data, fl.cl, fl.benefit, fl.ok = p.exchange(ctx, st, k)
+	p.fmu.Lock()
+	delete(p.flights, k)
+	p.fmu.Unlock()
+	close(fl.done)
+	return fl.data, fl.cl, fl.benefit, fl.ok
+}
+
+// exchange performs one breaker-guarded peer get and installs a successful
+// fill in the local tier.
+func (p *Peered) exchange(ctx context.Context, st *peerState, k Key) (*chunk.Chunk, Class, float64, bool) {
+	if !st.allow(p.cfg.BreakerThreshold, time.Now()) {
+		p.fillSkips.Add(1)
+		st.met.Skips.Inc()
+		return nil, 0, 0, false
+	}
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.GetTimeout)
+	defer cancel()
+	start := time.Now()
+	data, cl, benefit, found, err := st.peer.Get(ctx, k)
+	st.met.Latency.Observe(time.Since(start))
+	if err != nil {
+		st.report(false, p.cfg.BreakerThreshold, p.cfg.BreakerCooldown, time.Now())
+		p.fillErrors.Add(1)
+		st.met.Errors.Inc()
+		return nil, 0, 0, false
+	}
+	st.report(true, p.cfg.BreakerThreshold, p.cfg.BreakerCooldown, time.Now())
+	if !found {
+		p.fillMisses.Add(1)
+		st.met.Misses.Inc()
+		return nil, 0, 0, false
+	}
+	p.fills.Add(1)
+	st.met.Hits.Inc()
+	// Install in the hot tier as a computed-class entry regardless of how
+	// the owner classes it: a peer-filled chunk is cheap to re-obtain (one
+	// wire exchange, not a backend scan), so it gets the weak residency of
+	// a recomputable chunk. Without this, every node's hot tier converges
+	// on duplicates of the same hot set and the group's distinct capacity
+	// stops growing with membership. The insert goes straight to the local
+	// store — a fill must never re-enter the replication path it came from.
+	p.local.Insert(k, data, ClassComputed, benefit)
+	return data, cl, benefit, true
+}
+
+// replicate queues a best-effort put of a freshly backend-fetched chunk to
+// its ring owner.
+func (p *Peered) replicate(k Key, data *chunk.Chunk, cl Class, benefit float64) {
+	owner := p.ring.Load().Owner(k)
+	if owner == "" || owner == p.cfg.Self || p.closed.Load() {
+		return
+	}
+	select {
+	case p.puts <- peerPut{owner: owner, key: k, data: data, cl: cl, benefit: benefit}:
+	default:
+		p.putDrops.Add(1)
+		if st := p.peer(owner); st != nil {
+			st.met.PutDrops.Inc()
+		}
+	}
+}
+
+// putLoop drains the replication queue.
+func (p *Peered) putLoop() {
+	defer p.wg.Done()
+	for req := range p.puts {
+		st := p.peer(req.owner)
+		if st == nil {
+			continue
+		}
+		if !st.allow(p.cfg.BreakerThreshold, time.Now()) {
+			p.putDrops.Add(1)
+			st.met.PutDrops.Inc()
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), p.cfg.PutTimeout)
+		err := st.peer.Put(ctx, req.key, req.data, req.cl, req.benefit)
+		cancel()
+		st.report(err == nil, p.cfg.BreakerThreshold, p.cfg.BreakerCooldown, time.Now())
+		if err != nil {
+			p.putErrors.Add(1)
+			st.met.PutErrors.Inc()
+			continue
+		}
+		p.putOKs.Add(1)
+		st.met.Puts.Inc()
+	}
+}
+
+// --- Store delegation -----------------------------------------------------
+
+// Get implements Store: the local tier first, then — on a local miss — the
+// key's ring owner, installing a successful peer fill locally.
+func (p *Peered) Get(k Key) (*chunk.Chunk, bool) {
+	if data, ok := p.local.Get(k); ok {
+		return data, true
+	}
+	data, _, _, ok := p.fill(context.Background(), k)
+	return data, ok
+}
+
+// Peek implements Store (local tier only).
+func (p *Peered) Peek(k Key) (*chunk.Chunk, bool) { return p.local.Peek(k) }
+
+// GetInfo serves from the local tier only: it is the PeerGet answer path, and
+// answering one peer's lookup from another peer would let a chunk resident
+// nowhere bounce around the ring.
+func (p *Peered) GetInfo(k Key) (*chunk.Chunk, Class, float64, bool) {
+	type infoStore interface {
+		GetInfo(Key) (*chunk.Chunk, Class, float64, bool)
+	}
+	if is, ok := p.local.(infoStore); ok {
+		return is.GetInfo(k)
+	}
+	data, ok := p.local.Get(k)
+	return data, ClassBackend, 0, ok
+}
+
+// Insert implements Store: the chunk becomes resident locally, and backend
+// fills whose ring owner is a remote peer replicate asynchronously so the
+// group can reuse them. Computed chunks stay local — they are cheap to
+// rebuild from what the cluster already holds, and replicating them would
+// turn every in-cache aggregation into wire traffic.
+func (p *Peered) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool {
+	ok := p.local.Insert(k, data, cl, benefit)
+	if ok && cl == ClassBackend {
+		p.replicate(k, data, cl, benefit)
+	}
+	return ok
+}
+
+// Evict implements Store (local tier only).
+func (p *Peered) Evict(k Key) bool { return p.local.Evict(k) }
+
+// Pin implements Store.
+func (p *Peered) Pin(k Key) bool { return p.local.Pin(k) }
+
+// Unpin implements Store.
+func (p *Peered) Unpin(k Key) { p.local.Unpin(k) }
+
+// Reinforce implements Store.
+func (p *Peered) Reinforce(keys []Key, benefit float64) { p.local.Reinforce(keys, benefit) }
+
+// Contains implements Store.
+func (p *Peered) Contains(k Key) bool { return p.local.Contains(k) }
+
+// Keys implements Store.
+func (p *Peered) Keys(dst []Key) []Key { return p.local.Keys(dst) }
+
+// Range implements Store.
+func (p *Peered) Range(fn func(k Key, data *chunk.Chunk, cl Class, benefit float64)) {
+	p.local.Range(fn)
+}
+
+// Stats implements Store.
+func (p *Peered) Stats() Stats { return p.local.Stats() }
+
+// Capacity implements Store.
+func (p *Peered) Capacity() int64 { return p.local.Capacity() }
+
+// Used implements Store.
+func (p *Peered) Used() int64 { return p.local.Used() }
+
+// Len implements Store.
+func (p *Peered) Len() int { return p.local.Len() }
+
+// SetListener implements Store.
+func (p *Peered) SetListener(l Listener) { p.local.SetListener(l) }
+
+// SetMetrics implements Store.
+func (p *Peered) SetMetrics(m obs.CacheMetrics) { p.local.SetMetrics(m) }
+
+// Policy implements Store.
+func (p *Peered) Policy() Policy { return p.local.Policy() }
+
+// Shards reports the local tier's shard count (1 when it is not striped),
+// so ops banners see through the cluster wrapper.
+func (p *Peered) Shards() int {
+	if sh, ok := p.local.(interface{ Shards() int }); ok {
+		return sh.Shards()
+	}
+	return 1
+}

@@ -1,0 +1,134 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVnodes is the number of virtual nodes each ring member contributes.
+// 128 points per member keeps the worst member's share within roughly ±15%
+// of fair on the low-entropy (GB, Num) key population APB workloads produce,
+// while a full 4-node ring is still only 512 points — one cache line's worth
+// of binary search per route.
+const DefaultVnodes = 128
+
+// Ring is a consistent-hash ring over a static peer membership: every member
+// contributes Vnodes points derived only from its name, and a chunk key is
+// owned by the member whose point follows the key's hash clockwise. Because
+// point placement depends on nothing but the member names, two processes
+// given the same membership — in any order, on any machine — build rings
+// with identical ownership, which is what lets olapcli route a key to the
+// same aggcached node the cluster itself would. Adding or removing one
+// member moves only the keys adjacent to that member's points (≈1/N of the
+// keyspace) and no key ever moves between two surviving members.
+//
+// A Ring is immutable after construction; membership changes build a new
+// Ring (see Peered.Rebuild).
+type Ring struct {
+	points  []ringPoint
+	members []string // canonical (sorted, deduplicated) membership
+}
+
+// ringPoint is one virtual node: a position on the ring and the member that
+// owns it.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// splitmix64 is the splitmix64 finalizer — the same mix the sharded store
+// stripes with, promoted here to full 64-bit ring positions.
+func splitmix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// KeyHash maps a chunk key onto the ring's 64-bit keyspace. Exported so
+// tests and diagnostics can reproduce routing decisions.
+func KeyHash(k Key) uint64 {
+	return splitmix64(uint64(uint32(k.GB))<<32 | uint64(uint32(k.Num)))
+}
+
+// fnv64a is FNV-1a over the member name; it seeds the member's vnode
+// sequence so point placement depends only on the name.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// NewRing builds a ring over members with vnodes points per member
+// (DefaultVnodes when vnodes <= 0). Duplicate and empty member names are
+// dropped; an empty membership yields a ring that owns nothing.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(members))
+	canon := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		canon = append(canon, m)
+	}
+	sort.Strings(canon)
+	r := &Ring{members: canon, points: make([]ringPoint, 0, len(canon)*vnodes)}
+	for _, m := range canon {
+		seed := fnv64a(m)
+		for i := 0; i < vnodes; i++ {
+			// Golden-ratio stride decorrelates consecutive vnode indices
+			// before the finalizer spreads them over the ring.
+			h := splitmix64(seed + uint64(i)*0x9e3779b97f4a7c15)
+			r.points = append(r.points, ringPoint{hash: h, member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by name so ownership stays
+		// order-independent.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the canonical membership (sorted, deduplicated).
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Size returns the number of members.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Owner returns the member owning key k, or "" on an empty ring.
+func (r *Ring) Owner(k Key) string { return r.OwnerHash(KeyHash(k)) }
+
+// OwnerHash returns the member owning ring position h: the first point at
+// or after h, wrapping at the top of the keyspace.
+func (r *Ring) OwnerHash(h uint64) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// String summarizes the ring for diagnostics.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d members, %d points)", len(r.members), len(r.points))
+}

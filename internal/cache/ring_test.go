@@ -1,0 +1,130 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aggcache/internal/lattice"
+)
+
+// ringKeys returns a deterministic key population shaped like a real grid:
+// many group-bys, modest chunk counts per group-by.
+func ringKeys(n int) []Key {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key{GB: lattice.ID(rng.Intn(300)), Num: int32(rng.Intn(64))}
+	}
+	return keys
+}
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:7070", i+1)
+	}
+	return out
+}
+
+func TestRingDistributionUniformity(t *testing.T) {
+	keys := ringKeys(20000)
+	for _, n := range []int{2, 3, 4} {
+		r := NewRing(members(n), DefaultVnodes)
+		counts := make(map[string]int, n)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d members own keys", n, len(counts))
+		}
+		fair := float64(len(keys)) / float64(n)
+		for m, c := range counts {
+			dev := (float64(c) - fair) / fair
+			if dev < -0.30 || dev > 0.30 {
+				t.Errorf("n=%d: member %s owns %d keys, %.0f%% off fair share %.0f",
+					n, m, c, dev*100, fair)
+			}
+		}
+	}
+}
+
+// TestRingChurn verifies the consistent-hashing contract: growing or
+// shrinking the membership by one moves only the keys adjacent to the
+// changed member's points (about 1/N of the keyspace, with slack for vnode
+// variance), and no key ever moves between two surviving members.
+func TestRingChurn(t *testing.T) {
+	keys := ringKeys(20000)
+	for _, n := range []int{2, 3, 4} {
+		small := NewRing(members(n), DefaultVnodes)
+		big := NewRing(members(n+1), DefaultVnodes)
+		added := members(n + 1)[n]
+		moved := 0
+		for _, k := range keys {
+			before, after := small.Owner(k), big.Owner(k)
+			if before == after {
+				continue
+			}
+			moved++
+			if after != added {
+				t.Fatalf("n=%d→%d: key %v moved between survivors %s → %s",
+					n, n+1, k, before, after)
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		// Ideal churn is 1/(n+1); allow 1.5× for vnode placement variance.
+		if limit := 1.5 / float64(n+1); frac > limit {
+			t.Errorf("n=%d→%d: %.1f%% of keys moved, want ≤ %.1f%%",
+				n, n+1, frac*100, limit*100)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d→%d: no keys moved to the new member", n, n+1)
+		}
+	}
+}
+
+// TestRingDeterministicOwnership is the olapcli↔aggcached contract: rings
+// built from the same membership in any order agree on every key.
+func TestRingDeterministicOwnership(t *testing.T) {
+	keys := ringKeys(5000)
+	ms := members(4)
+	shuffled := []string{ms[2], ms[0], ms[3], ms[1]}
+	withDups := append(append([]string{}, ms...), ms[1], "", ms[3])
+	a := NewRing(ms, DefaultVnodes)
+	b := NewRing(shuffled, DefaultVnodes)
+	c := NewRing(withDups, DefaultVnodes)
+	if a.Size() != 4 || b.Size() != 4 || c.Size() != 4 {
+		t.Fatalf("sizes = %d/%d/%d, want 4", a.Size(), b.Size(), c.Size())
+	}
+	for _, k := range keys {
+		if a.Owner(k) != b.Owner(k) || a.Owner(k) != c.Owner(k) {
+			t.Fatalf("key %v: owners disagree: %q/%q/%q",
+				k, a.Owner(k), b.Owner(k), c.Owner(k))
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	var nilRing *Ring
+	if got := nilRing.OwnerHash(1); got != "" {
+		t.Fatalf("nil ring owner = %q", got)
+	}
+	empty := NewRing(nil, 0)
+	if got := empty.Owner(Key{}); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	if empty.Size() != 0 {
+		t.Fatalf("empty ring size = %d", empty.Size())
+	}
+	solo := NewRing([]string{"a"}, 8)
+	for _, k := range ringKeys(100) {
+		if got := solo.Owner(k); got != "a" {
+			t.Fatalf("singleton ring owner = %q", got)
+		}
+	}
+	// Wrap: a hash above the highest point lands on the first point.
+	r := NewRing(members(3), 16)
+	if got := r.OwnerHash(^uint64(0)); got == "" {
+		t.Fatalf("wrap owner is empty")
+	}
+}

@@ -189,6 +189,26 @@ func (c *Sharded) Get(k Key) (*chunk.Chunk, bool) {
 	return data, true
 }
 
+// GetInfo is Get plus the entry's replacement attributes, for the peer tier
+// (see Cache.GetInfo).
+func (c *Sharded) GetInfo(k Key) (*chunk.Chunk, Class, float64, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	e, ok := s.entries[k]
+	if !ok {
+		s.stats.Misses++
+		s.mu.Unlock()
+		c.met.Misses.Inc()
+		return nil, 0, 0, false
+	}
+	s.stats.Hits++
+	s.policy.Accessed(e)
+	data, cl, benefit := e.Data, e.Class, e.Benefit
+	s.mu.Unlock()
+	c.met.Hits.Inc()
+	return data, cl, benefit, true
+}
+
 // Peek implements Store.
 func (c *Sharded) Peek(k Key) (*chunk.Chunk, bool) {
 	s := c.shard(k)

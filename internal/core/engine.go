@@ -102,6 +102,9 @@ type Stats struct {
 	AggTuples      int64
 	BudgetMisses   int64
 	Bypassed       int64
+	// PeerChunks counts missing chunks served by a cluster peer instead of
+	// the backend.
+	PeerChunks int64
 	// DegradedHits counts queries answered from the cache alone while the
 	// backend circuit breaker was not closed.
 	DegradedHits int64
@@ -120,6 +123,7 @@ type engineStats struct {
 	aggTuples      atomic.Int64
 	budgetMisses   atomic.Int64
 	bypassed       atomic.Int64
+	peerChunks     atomic.Int64
 	degradedHits   atomic.Int64
 	unavailable    atomic.Int64
 
@@ -138,6 +142,7 @@ func (s *engineStats) snapshot() Stats {
 		AggTuples:      s.aggTuples.Load(),
 		BudgetMisses:   s.budgetMisses.Load(),
 		Bypassed:       s.bypassed.Load(),
+		PeerChunks:     s.peerChunks.Load(),
 		DegradedHits:   s.degradedHits.Load(),
 		Unavailable:    s.unavailable.Load(),
 		Breakdown: metrics.Breakdown{
@@ -179,6 +184,18 @@ type Engine struct {
 	// (or a wrapper in its chain) carries one; nil otherwise. Used for
 	// degraded-mode accounting and health reporting.
 	avail interface{ State() backend.BreakerState }
+	// peers is the cache store's cluster tier when the store provides one
+	// (cache.Peered); nil otherwise. Missing chunks are offered to the
+	// key's ring owner before the backend fetch.
+	peers PeerFiller
+}
+
+// PeerFiller is the optional cluster tier a cache store can expose:
+// PeerFill asks the chunk key's ring owner for the payload, installing it in
+// the local tier on success. false means fall through to the backend.
+// cache.Peered implements it; the engine detects it on the store at New.
+type PeerFiller interface {
+	PeerFill(ctx context.Context, k cache.Key) (*chunk.Chunk, bool)
 }
 
 // New wires a cache store, a lookup strategy and a backend into an engine,
@@ -209,6 +226,9 @@ func New(g *chunk.Grid, c cache.Store, s strategy.Strategy, b backend.Backend, s
 	}
 	if a, ok := b.(interface{ State() backend.BreakerState }); ok {
 		e.avail = a
+	}
+	if p, ok := c.(PeerFiller); ok {
+		e.peers = p
 	}
 	return e, nil
 }
@@ -515,6 +535,7 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 		}
 	}
 	e.stats.aggTuples.Add(res.AggregatedTuples)
+	e.stats.peerChunks.Add(int64(res.PeerChunks))
 	e.stats.lookupNS.Add(int64(res.Breakdown.Lookup))
 	e.stats.aggNS.Add(int64(res.Breakdown.Aggregate))
 	e.stats.updateNS.Add(int64(res.Breakdown.Update))
@@ -535,7 +556,8 @@ func (e *Engine) observe(res *Result) {
 	}
 	e.met.ChunksHit.Add(int64(res.HitChunks - res.AggChunks))
 	e.met.ChunksAggregated.Add(int64(res.AggChunks))
-	e.met.ChunksFetched.Add(int64(res.MissChunks))
+	e.met.ChunksFetched.Add(int64(res.MissChunks - res.PeerChunks))
+	e.met.ChunksPeerFilled.Add(int64(res.PeerChunks))
 	e.met.AggregatedTuples.Add(res.AggregatedTuples)
 	e.met.Lookup.Observe(res.Breakdown.Lookup)
 	if res.HitChunks > 0 {

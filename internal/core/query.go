@@ -112,6 +112,11 @@ type Result struct {
 	// HitChunks counts chunks answered from the cache (present or
 	// aggregated); MissChunks counts chunks computed at the backend.
 	HitChunks, MissChunks int
+	// PeerChunks counts the subset of MissChunks served by a cluster peer
+	// instead of the backend (the store is a cache.Peered and the key's ring
+	// owner held the chunk). A peer-filled query is still not a CompleteHit:
+	// the chunk left this node, just not the cache group.
+	PeerChunks int
 	// AggChunks counts the subset of HitChunks that required in-cache
 	// aggregation (the rest were resident verbatim).
 	AggChunks int

@@ -27,6 +27,7 @@ type flightCall struct {
 	data   *chunk.Chunk
 	tuples int64
 	cost   time.Duration
+	peer   bool // filled from a cluster peer, not the backend
 	err    error
 }
 
@@ -48,14 +49,17 @@ type flightGroup struct {
 const maxFollowerRetries = 2
 
 // finish publishes the leader's outcome to each flight and retires it. On
-// success chunks[i] pairs with calls[i]; on error chunks is nil.
-func (g *flightGroup) finish(gb lattice.ID, nums []int, calls []*flightCall, chunks []*chunk.Chunk, tuples int64, cost time.Duration, err error) {
+// success chunks[i] pairs with calls[i]; on error chunks is nil. fromPeer
+// records whether the chunks came from a cluster peer rather than the
+// backend, so followers account them as peer chunks too.
+func (g *flightGroup) finish(gb lattice.ID, nums []int, calls []*flightCall, chunks []*chunk.Chunk, tuples int64, cost time.Duration, fromPeer bool, err error) {
 	g.mu.Lock()
 	for i, c := range calls {
 		if err == nil {
 			c.data = chunks[i]
 			c.tuples = tuples
 			c.cost = cost
+			c.peer = fromPeer
 		}
 		c.err = err
 		close(c.done)
@@ -94,6 +98,46 @@ func (e *Engine) fetchMissing(ctx context.Context, gb lattice.ID, missing, missi
 	e.met.FlightLeaderChunks.Add(int64(len(own)))
 	e.met.FlightFollowerChunks.Add(int64(len(waits)))
 
+	// Cluster tier: before paying for a backend trip, offer each chunk this
+	// query leads to the key's ring owner, all exchanges in flight at once
+	// (they pipeline on the per-peer mux). A peer hit publishes to the
+	// flight exactly like a backend fetch would (followers never strand)
+	// and the chunk drops out of the backend batch; a miss, error or open
+	// breaker leaves it in. PeerFill has already installed the chunk in the
+	// local store, so the strategy saw the arrival through the listener.
+	if e.peers != nil && len(own) > 0 {
+		peerStart := time.Now()
+		filled := make([]*chunk.Chunk, len(own))
+		var wg sync.WaitGroup
+		for i, num := range own {
+			wg.Add(1)
+			go func(i, num int) {
+				defer wg.Done()
+				if data, ok := e.peers.PeerFill(ctx, cache.Key{GB: gb, Num: int32(num)}); ok {
+					filled[i] = data
+				}
+			}(i, num)
+		}
+		wg.Wait()
+		kept := 0
+		for i, num := range own {
+			if filled[i] == nil {
+				own[kept] = own[i]
+				ownIdx[kept] = ownIdx[i]
+				ownCalls[kept] = ownCalls[i]
+				kept++
+				continue
+			}
+			res.Chunks[ownIdx[i]] = filled[i]
+			res.PeerChunks++
+			e.flights.finish(gb, []int{num}, []*flightCall{ownCalls[i]}, []*chunk.Chunk{filled[i]}, 0, 0, true, nil)
+		}
+		own = own[:kept]
+		ownIdx = ownIdx[:kept]
+		ownCalls = ownCalls[:kept]
+		res.Breakdown.Backend += time.Since(peerStart)
+	}
+
 	if len(own) > 0 {
 		chunks, bstats, err := e.back.ComputeChunks(ctx, gb, own)
 		if err == nil && len(chunks) != len(own) {
@@ -105,7 +149,7 @@ func (e *Engine) fetchMissing(ctx context.Context, gb lattice.ID, missing, missi
 		if err != nil {
 			err = fmt.Errorf("core: backend: %w", err)
 			// Publish the failure so followers never strand on the flight.
-			e.flights.finish(gb, own, ownCalls, nil, 0, 0, err)
+			e.flights.finish(gb, own, ownCalls, nil, 0, 0, false, err)
 			return err
 		}
 		res.Breakdown.Backend += bstats.Cost()
@@ -128,7 +172,7 @@ func (e *Engine) fetchMissing(ctx context.Context, gb lattice.ID, missing, missi
 		res.Breakdown.Update += m1.Sub(m0).Time
 
 		n := int64(len(own))
-		e.flights.finish(gb, own, ownCalls, chunks, bstats.TuplesScanned/n, bstats.Cost()/time.Duration(n), nil)
+		e.flights.finish(gb, own, ownCalls, chunks, bstats.TuplesScanned/n, bstats.Cost()/time.Duration(n), false, nil)
 	}
 
 	// Chunks whose leader failed with a context error that was not ours:
@@ -154,6 +198,9 @@ func (e *Engine) fetchMissing(ctx context.Context, gb lattice.ID, missing, missi
 		res.Chunks[waitIdx[i]] = c.data
 		res.BackendTuples += c.tuples
 		res.Breakdown.Backend += c.cost
+		if c.peer {
+			res.PeerChunks++
+		}
 	}
 	if len(again) > 0 {
 		return e.fetchMissing(ctx, gb, again, againIdx, res, retry+1)

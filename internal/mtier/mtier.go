@@ -273,10 +273,18 @@ func (s *Server) serveConn(conn net.Conn) {
 	}, s.handleFrame)
 }
 
-// handleFrame serves one query frame. All failures — including an
-// unrecognized frame type — are answered in-band through Response.Err, so
-// the connection survives a bad query under its pipelined neighbors.
+// handleFrame serves one frame — a client query or a peer cache request
+// (both kinds share the listener, so a cluster member is just another
+// pipelined client). All failures — including an unrecognized frame type —
+// are answered in-band, so the connection survives a bad request under its
+// pipelined neighbors.
 func (s *Server) handleFrame(fr *wire.Frame) wire.Frame {
+	switch fr.Type {
+	case framePeerGet:
+		return s.handlePeerGet(fr)
+	case framePeerPut:
+		return s.handlePeerPut(fr)
+	}
 	var resp *Response
 	if fr.Type != frameQuery {
 		resp = &Response{Err: fmt.Sprintf("unknown frame type 0x%02x", fr.Type)}

@@ -1,0 +1,53 @@
+package mtier
+
+import (
+	"testing"
+
+	"aggcache/internal/cache"
+)
+
+// FuzzPeerFrame throws arbitrary bytes at all four peer payload decoders.
+// The invariants mirror wire.FuzzFrame: no panic, no allocation the payload
+// cannot back, and everything a decoder accepts re-encodes byte-identically.
+func FuzzPeerFrame(f *testing.F) {
+	k := cache.Key{GB: 3, Num: 17}
+	data := peerChunk(17, 5)
+	f.Add(encodePeerGet(nil, k))
+	f.Add(encodePeerChunk(nil, data, cache.ClassBackend, 2.5, true))
+	f.Add(encodePeerChunk(nil, nil, 0, 0, false))
+	f.Add(encodePeerPut(nil, k, data, cache.ClassComputed, 9.75))
+	f.Add(encodePeerAck(nil, true))
+	f.Add(encodePeerAck(nil, false))
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{2, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if gk, err := decodePeerGet(payload); err == nil {
+			if got := encodePeerGet(nil, gk); string(got) != string(payload) {
+				t.Fatalf("peer get did not round-trip: %x vs %x", got, payload)
+			}
+		}
+		if c, cl, benefit, found, err := decodePeerChunk(payload); err == nil {
+			if found && 16*c.Cells() > len(payload) {
+				t.Fatalf("decoded %d cells from %d payload bytes", c.Cells(), len(payload))
+			}
+			if got := encodePeerChunk(nil, c, cl, benefit, found); string(got) != string(payload) {
+				t.Fatalf("peer chunk did not round-trip: %x vs %x", got, payload)
+			}
+		}
+		if pk, c, cl, benefit, err := decodePeerPut(payload); err == nil {
+			if 16*c.Cells() > len(payload) {
+				t.Fatalf("decoded %d cells from %d payload bytes", c.Cells(), len(payload))
+			}
+			if got := encodePeerPut(nil, pk, c, cl, benefit); string(got) != string(payload) {
+				t.Fatalf("peer put did not round-trip: %x vs %x", got, payload)
+			}
+		}
+		if stored, err := decodePeerAck(payload); err == nil {
+			if got := encodePeerAck(nil, stored); string(got) != string(payload) {
+				t.Fatalf("peer ack did not round-trip: %x vs %x", got, payload)
+			}
+		}
+	})
+}

@@ -21,6 +21,7 @@ type EngineMetrics struct {
 	ChunksHit        *Counter
 	ChunksAggregated *Counter
 	ChunksFetched    *Counter
+	ChunksPeerFilled *Counter
 
 	AggregatedTuples *Counter
 	BackendTuples    *Counter
@@ -52,6 +53,7 @@ func NewEngineMetrics(r *Registry) EngineMetrics {
 		ChunksHit:        r.Counter("aggcache_engine_chunks_hit_total", "Chunks answered directly by a resident cache entry."),
 		ChunksAggregated: r.Counter("aggcache_engine_chunks_aggregated_total", "Chunks computed by aggregating other cached chunks."),
 		ChunksFetched:    r.Counter("aggcache_engine_chunks_fetched_total", "Chunks fetched from the backend (cache misses)."),
+		ChunksPeerFilled: r.Counter("aggcache_engine_chunks_peer_filled_total", "Missing chunks served by a cluster peer instead of the backend."),
 
 		AggregatedTuples: r.Counter("aggcache_engine_aggregated_tuples_total", "Tuples scanned by in-cache aggregation."),
 		BackendTuples:    r.Counter("aggcache_engine_backend_tuples_total", "Tuples scanned at the backend on behalf of this engine."),
@@ -237,6 +239,39 @@ func NewRemoteMetrics(r *Registry) RemoteMetrics {
 		FramesIn:     r.Counter("aggcache_remote_wire_frames_in_total", "Frames received from the backend."),
 		FramesOut:    r.Counter("aggcache_remote_wire_frames_out_total", "Frames sent to the backend."),
 		InFlight:     r.Gauge("aggcache_remote_requests_in_flight", "Exchanges currently in flight on the multiplexed connection."),
+	}
+}
+
+// PeerMetrics instruments one remote member of the peered cache tier. All
+// series carry a peer=… label so every cluster member shares a registry.
+type PeerMetrics struct {
+	Hits      *Counter
+	Misses    *Counter
+	Errors    *Counter
+	Skips     *Counter
+	Puts      *Counter
+	PutDrops  *Counter
+	PutErrors *Counter
+
+	BreakerState *Gauge
+	Latency      *Histogram
+}
+
+// NewPeerMetrics registers the per-peer metric set on r, labeled with the
+// peer's address.
+func NewPeerMetrics(r *Registry, peer string) PeerMetrics {
+	l := fmt.Sprintf("{peer=%q}", peer)
+	return PeerMetrics{
+		Hits:      r.Counter("aggcache_peer_fill_hits_total"+l, "Peer-fill exchanges that returned the chunk."),
+		Misses:    r.Counter("aggcache_peer_fill_misses_total"+l, "Peer-fill exchanges the peer answered without the chunk."),
+		Errors:    r.Counter("aggcache_peer_fill_errors_total"+l, "Peer-fill exchanges that failed (timeout, connection or protocol error)."),
+		Skips:     r.Counter("aggcache_peer_fill_skips_total"+l, "Peer-fill attempts suppressed by the peer's open circuit breaker."),
+		Puts:      r.Counter("aggcache_peer_puts_total"+l, "Replication puts delivered to the peer."),
+		PutDrops:  r.Counter("aggcache_peer_put_drops_total"+l, "Replication puts dropped (queue full or breaker open)."),
+		PutErrors: r.Counter("aggcache_peer_put_errors_total"+l, "Replication puts that failed."),
+
+		BreakerState: r.Gauge("aggcache_peer_breaker_state"+l, "Per-peer breaker state: 0 closed, 1 probing, 2 open."),
+		Latency:      r.Histogram("aggcache_peer_fill_seconds"+l, "Peer-fill exchange latency."),
 	}
 }
 

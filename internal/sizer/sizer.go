@@ -7,6 +7,7 @@ package sizer
 
 import (
 	"math"
+	"sync"
 
 	"aggcache/internal/chunk"
 	"aggcache/internal/lattice"
@@ -33,7 +34,9 @@ type Estimate struct {
 	rows int64
 	// baseCells = total dense capacity of the base cross product.
 	baseCells float64
-	// cache[gb][num]; built lazily per group-by.
+	// cache[gb][num]; built lazily per group-by. One Estimate may be shared
+	// by every engine of an in-process cluster, so the memo is guarded.
+	mu    sync.RWMutex
 	cache map[lattice.ID][]int64
 	gbTot map[lattice.ID]int64
 }
@@ -56,7 +59,9 @@ func NewEstimate(grid *chunk.Grid, rows int64) *Estimate {
 
 // ChunkCells implements Sizer.
 func (e *Estimate) ChunkCells(gb lattice.ID, num int) int64 {
+	e.mu.RLock()
 	sizes, ok := e.cache[gb]
+	e.mu.RUnlock()
 	if !ok {
 		sizes = e.buildGroupBy(gb)
 	}
@@ -65,9 +70,15 @@ func (e *Estimate) ChunkCells(gb lattice.ID, num int) int64 {
 
 // GroupByCells implements Sizer.
 func (e *Estimate) GroupByCells(gb lattice.ID) int64 {
-	if _, ok := e.cache[gb]; !ok {
-		e.buildGroupBy(gb)
+	e.mu.RLock()
+	tot, ok := e.gbTot[gb]
+	e.mu.RUnlock()
+	if ok {
+		return tot
 	}
+	e.buildGroupBy(gb)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.gbTot[gb]
 }
 
@@ -78,6 +89,13 @@ func (e *Estimate) buildGroupBy(gb lattice.ID) []int64 {
 	for num := 0; num < n; num++ {
 		sizes[num] = e.estimateChunk(gb, num)
 		tot += sizes[num]
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Two builders may race to the lock; the first stored result wins so
+	// callers never observe the memo flapping between equal slices.
+	if prev, ok := e.cache[gb]; ok {
+		return prev
 	}
 	e.cache[gb] = sizes
 	e.gbTot[gb] = tot
