@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernel bench-shards bench-wire bench-cluster soak-shards soak-cluster fuzz-wire fuzz-peer fmt lint cover chaos ci FORCE
+.PHONY: build test vet race bench bench-kernel bench-shards bench-wire bench-cluster bench-overload soak-shards soak-cluster soak-overload fuzz-wire fuzz-peer fmt lint cover chaos ci FORCE
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,12 @@ bench-wire:
 bench-cluster:
 	$(GO) run ./cmd/aggbench -scale small -exp cluster
 
+# bench-overload sweeps offered load past the admission controller's
+# measured capacity and demonstrates tenant-quota fairness (writes
+# BENCH_8.json; CI gates goodput at 2× overload ≥ 80% of capacity).
+bench-overload:
+	$(GO) run ./cmd/aggbench -scale tiny -exp overload
+
 # fuzz-wire smoke-fuzzes the frame and chunk-slab codecs: malformed input
 # must never panic or over-allocate.
 fuzz-wire:
@@ -61,6 +67,13 @@ soak-shards:
 # with one fault-injected peer: every query must still be served.
 soak-cluster:
 	$(GO) test -race -run 'ClusterSoak' ./internal/mtier -count=1 -v
+
+# soak-overload storms an under-provisioned server with hostile traffic
+# (Zipf convoy, deadline-bound flash crowd, quota-capped scan flood) under
+# the race detector: every failure must be an in-band transient shed, no
+# query may run past its deadline, and the server must serve again after.
+soak-overload:
+	$(GO) test -race -run 'OverloadSoak' ./internal/mtier -count=1 -v
 
 # Full aggbench reports are regenerated on demand, never committed:
 # `make results_small.txt` (or _medium/_full).

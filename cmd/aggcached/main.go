@@ -69,8 +69,16 @@ func main() {
 		brkCooldownFlag  = flag.Duration("breaker-cooldown", 2*time.Second, "how long the breaker stays open before probing the backend")
 
 		maxFrameFlag    = flag.Int("wire-max-frame", 0, "max wire frame payload in bytes, both tiers (0 = 64MiB default)")
+		inFlightFlag    = flag.Int("wire-max-inflight", 0, "max concurrently served frames per client connection (0 = 32 default)")
 		clientReadFlag  = flag.Duration("client-read-timeout", mtier.DefaultTimeouts.Read, "idle deadline per client connection awaiting the next query (0 = none)")
 		clientWriteFlag = flag.Duration("client-write-timeout", mtier.DefaultTimeouts.Write, "deadline for writing one response to a client")
+
+		admitMaxFlag    = flag.Int("admit-max", 0, "execution slots for the server-wide admission queue (0 = admission control disabled)")
+		admitQueueFlag  = flag.Int("admit-queue", 0, "queued queries beyond the slots before shedding (0 = 4x -admit-max)")
+		admitWaitFlag   = flag.Duration("admit-max-wait", 0, "longest a query may wait for a slot before being shed (0 = 250ms)")
+		tenantQPSFlag   = flag.Float64("tenant-qps", 0, "admitted queries/sec per tenant (0 = unlimited)")
+		tenantBurstFlag = flag.Int("tenant-burst", 0, "per-tenant qps burst size (0 = 2x -tenant-qps)")
+		tenantBytesFlag = flag.Float64("tenant-bytes-per-sec", 0, "response bytes/sec per tenant, charged after encoding (0 = unlimited)")
 
 		peersFlag     = flag.String("peers", "", "comma-separated cluster membership (aggcached listen addresses, including this node's own); empty = no cluster tier")
 		peerSelfFlag  = flag.String("peer-self", "", "this node's address as it appears in -peers (default: the -listen address)")
@@ -229,6 +237,26 @@ func main() {
 	srv.SetQueryTimeout(*queryTimeoutFlag)
 	srv.SetTimeouts(wire.Timeouts{Read: *clientReadFlag, Write: *clientWriteFlag})
 	srv.SetMaxPayload(*maxFrameFlag)
+	srv.SetMaxInFlight(*inFlightFlag)
+	if *admitMaxFlag > 0 {
+		srv.SetAdmission(mtier.AdmissionConfig{
+			MaxConcurrent:     *admitMaxFlag,
+			MaxQueue:          *admitQueueFlag,
+			MaxWait:           *admitWaitFlag,
+			TenantQPS:         *tenantQPSFlag,
+			TenantBurst:       *tenantBurstFlag,
+			TenantBytesPerSec: *tenantBytesFlag,
+		})
+		queue, wait := *admitQueueFlag, *admitWaitFlag
+		if queue <= 0 {
+			queue = 4 * *admitMaxFlag
+		}
+		if wait <= 0 {
+			wait = 250 * time.Millisecond
+		}
+		fmt.Printf("aggcached: admission control: %d slots, queue %d, max wait %v\n",
+			*admitMaxFlag, queue, wait)
+	}
 	if reg != nil {
 		srv.SetObs(reg, ring)
 	}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"io"
 	"net"
+
+	"aggcache/internal/wire"
 )
 
 // ErrUnavailable is the typed availability error of the fault-tolerant
@@ -58,6 +60,14 @@ func IsTransient(err error) bool {
 	if errors.As(err, &te) {
 		return true
 	}
+	// A Busy reply is load shedding, not failure: the request is fine and a
+	// retry after the server's hint may succeed, so it is transient by
+	// definition — but the caller should honor BusyError.RetryAfter rather
+	// than retrying immediately.
+	var be *wire.BusyError
+	if errors.As(err, &be) {
+		return true
+	}
 	var re *RemoteError
 	if errors.As(err, &re) {
 		return false
@@ -76,6 +86,13 @@ func IsTransient(err error) bool {
 // permanent per-request errors and caller cancellation do not.
 func countsAsOutage(err error) bool {
 	if err == nil || errors.Is(err, context.Canceled) {
+		return false
+	}
+	// Busy replies never advance the breaker: the server answered — it is
+	// overloaded, not unreachable — and tripping into degraded mode would
+	// turn deliberate load shedding into a phantom outage.
+	var be *wire.BusyError
+	if errors.As(err, &be) {
 		return false
 	}
 	return IsTransient(err) || errors.Is(err, ErrUnavailable) || errors.Is(err, context.DeadlineExceeded)

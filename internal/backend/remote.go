@@ -260,6 +260,13 @@ func (r *Remote) attempt(ctx context.Context, typ uint8, payload []byte) (*wire.
 		r.dropMux(m)
 		return nil, MarkTransient(fmt.Errorf("backend: exchange: %w", err))
 	}
+	if fr.Type == wire.FrameBusy {
+		// The server shed this request before doing any work on it.
+		// Transient (a retry may get through) but never an outage, and the
+		// retry loop honors the frame's retry-after hint.
+		r.met.Busy.Inc()
+		return nil, wire.DecodeBusy(fr.Payload)
+	}
 	if fr.Type == frameError {
 		rerr := &RemoteError{Msg: decodeErrorFrame(fr.Payload)}
 		if fr.Flags&wire.FlagTransient == 0 {
@@ -283,7 +290,13 @@ func (r *Remote) roundTrip(ctx context.Context, typ uint8, payload []byte) (*wir
 		}
 		if try > 0 {
 			r.met.Retries.Inc()
-			t := time.NewTimer(r.backoff(try))
+			pause := r.backoff(try)
+			// A shedding server's retry-after hint is a floor on the pause:
+			// retrying sooner than the server asked just earns another Busy.
+			if be, ok := wire.AsBusy(lastErr); ok && be.RetryAfter > pause {
+				pause = be.RetryAfter
+			}
+			t := time.NewTimer(pause)
 			select {
 			case <-t.C:
 			case <-ctx.Done():

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aggcache/internal/obs"
@@ -27,10 +28,14 @@ var DefaultTimeouts = Timeouts{Write: time.Minute}
 // truncated frame, a reset) close the connection, and an idle-deadline
 // reaping is counted separately from those.
 type Server struct {
-	engine *Engine
-	tmo    Timeouts
-	met    obs.BackendMetrics
-	maxPay int
+	engine      *Engine
+	tmo         Timeouts
+	met         obs.BackendMetrics
+	maxPay      int
+	maxInFlight int
+	busyLimit   int
+
+	busy atomic.Int64 // requests executing server-wide, for the busy limit
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -51,6 +56,16 @@ func (s *Server) SetTimeouts(t Timeouts) { s.tmo = t }
 // SetMaxPayload bounds request frame payloads (0 means
 // wire.DefaultMaxPayload). Call it before Listen.
 func (s *Server) SetMaxPayload(n int) { s.maxPay = n }
+
+// SetMaxInFlight caps concurrently executing handlers per connection (0
+// means wire.DefaultMaxInFlight). Call it before Listen.
+func (s *Server) SetMaxInFlight(n int) { s.maxInFlight = n }
+
+// SetBusyLimit caps concurrently executing requests across all connections;
+// excess requests are refused with an in-band Busy reply (transient, with a
+// retry-after hint) instead of queueing behind the engine. 0 disables the
+// limit. Call it before Listen.
+func (s *Server) SetBusyLimit(n int) { s.busyLimit = n }
 
 // SetMetrics attaches live observability metrics (the server records the
 // wire-level counters; attach the same bundle to the engine for the compute
@@ -102,8 +117,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	wire.ServeConn(conn, wire.ConnOptions{
-		Timeouts:   s.tmo,
-		MaxPayload: s.maxPay,
+		Timeouts:    s.tmo,
+		MaxPayload:  s.maxPay,
+		MaxInFlight: s.maxInFlight,
 		Metrics: wire.Metrics{
 			BytesIn:   s.met.WireBytesIn,
 			BytesOut:  s.met.WireBytesOut,
@@ -122,6 +138,20 @@ func (s *Server) serveConn(conn net.Conn) {
 // the PR-3 taxonomy to the client: countsAsOutage failures (the engine did
 // not answer) are retryable, deterministic rejections are not.
 func (s *Server) handleFrame(fr *wire.Frame) (resp wire.Frame) {
+	if s.busyLimit > 0 {
+		if s.busy.Add(1) > int64(s.busyLimit) {
+			s.busy.Add(-1)
+			s.met.Sheds.Inc()
+			// The hint is rough — half the request timeout, floored — but any
+			// positive value beats clients retrying in lockstep immediately.
+			hint := s.tmo.Request / 2
+			if hint <= 0 {
+				hint = 10 * time.Millisecond
+			}
+			return wire.BusyFrame(hint, "queue_full")
+		}
+		defer s.busy.Add(-1)
+	}
 	defer func() {
 		if p := recover(); p != nil {
 			s.met.Panics.Inc()

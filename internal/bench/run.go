@@ -79,6 +79,7 @@ var experiments = []struct {
 	{"observability", one(Observability)},
 	{"chaos", one(Chaos)},
 	{"cluster", one(Cluster)},
+	{"overload", one(Overload)},
 }
 
 // aliases maps alternative ids (artifacts that share a runner) to canonical

@@ -33,6 +33,12 @@ type Request struct {
 	// Query is an mdq statement, e.g.
 	// "SUM(UnitSales) BY Product:Group WHERE Product:Group IN 0..3".
 	Query string
+	// Tenant identifies the client for per-tenant admission quotas; empty
+	// means anonymous (no quota applies).
+	Tenant string
+	// Budget is the query's remaining deadline budget; the engine runs
+	// under min(Budget, server query timeout). 0 means no client deadline.
+	Budget time.Duration
 }
 
 // Cell is one result cell: absolute member ids at the queried levels plus
@@ -83,6 +89,12 @@ type Server struct {
 	tmo wire.Timeouts
 	// maxPay bounds request frames; 0 means wire.DefaultMaxPayload.
 	maxPay int
+	// maxInFlight caps concurrently executing handlers per connection; 0
+	// means wire.DefaultMaxInFlight.
+	maxInFlight int
+	// adm is the server-wide admission controller; nil means every query is
+	// admitted (the pre-admission behavior).
+	adm *admission
 
 	// reg/ring/met are the observability layer, wired by SetObs (or lazily
 	// by OpsHandler). met's handles are atomics; the ring takes its own
@@ -120,6 +132,28 @@ func (s *Server) SetTimeouts(t wire.Timeouts) { s.tmo = t }
 // wire.DefaultMaxPayload). Call before Listen.
 func (s *Server) SetMaxPayload(n int) { s.maxPay = n }
 
+// SetMaxInFlight caps concurrently executing handlers per connection (0
+// means wire.DefaultMaxInFlight). It bounds one connection's pipelining;
+// SetAdmission bounds the whole server. Call before Listen.
+func (s *Server) SetMaxInFlight(n int) { s.maxInFlight = n }
+
+// SetAdmission installs the server-wide admission controller: every client
+// query passes its bounded queue, deadline check and tenant quotas before
+// touching the engine, and shed queries are answered with an in-band Busy
+// frame (transient, retry-after hint) instead of queueing without bound.
+// A config with MaxConcurrent <= 0 removes the controller. Call before
+// Listen; it is not synchronized with requests in flight.
+func (s *Server) SetAdmission(cfg AdmissionConfig) {
+	if cfg.MaxConcurrent <= 0 {
+		s.adm = nil
+		return
+	}
+	s.adm = newAdmission(cfg)
+	if s.reg != nil {
+		s.adm.met = obs.NewAdmissionMetrics(s.reg)
+	}
+}
+
 // SetQueryTimeout bounds each query's execution time: the engine runs it
 // under a context with this deadline, so a hung or slow backend fails the
 // query with a timeout error instead of hanging the client. Zero (the
@@ -135,6 +169,10 @@ func (s *Server) SetObs(reg *obs.Registry, ring *obs.TraceRing) {
 	s.ring = ring
 	if reg != nil {
 		s.met = obs.NewServerMetrics(reg)
+		if s.adm != nil {
+			// SetAdmission ran first; attach its metrics now.
+			s.adm.met = obs.NewAdmissionMetrics(reg)
+		}
 	}
 }
 
@@ -160,10 +198,19 @@ func (s *Server) OpsHandler() http.Handler {
 		if !s.Healthy() {
 			return false, "closed"
 		}
+		detail := ""
 		if s.engine.Degraded() {
-			return true, "(degraded: cache-only, backend unavailable)"
+			detail = "(degraded: cache-only, backend unavailable)"
 		}
-		return true, ""
+		// Shedding is healthy behavior — the server is protecting itself —
+		// but operators need to see it next to the degraded-mode field.
+		if r, d := s.adm.ShedsPerSec(), s.adm.Depth(); r > 0 || d > 0 {
+			if detail != "" {
+				detail += " "
+			}
+			detail += fmt.Sprintf("(shedding: %.1f sheds/s, queue depth %d)", r, d)
+		}
+		return true, detail
 	})
 }
 
@@ -259,8 +306,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	// connection, idle reaping is counted separately, and pipelined
 	// requests execute concurrently.
 	wire.ServeConn(conn, wire.ConnOptions{
-		Timeouts:   s.tmo,
-		MaxPayload: s.maxPay,
+		Timeouts:    s.tmo,
+		MaxPayload:  s.maxPay,
+		MaxInFlight: s.maxInFlight,
 		Metrics: wire.Metrics{
 			BytesIn:   s.met.WireBytesIn,
 			BytesOut:  s.met.WireBytesOut,
@@ -278,6 +326,11 @@ func (s *Server) serveConn(conn net.Conn) {
 // pipelined client). All failures — including an unrecognized frame type —
 // are answered in-band, so the connection survives a bad request under its
 // pipelined neighbors.
+//
+// Client queries pass the admission controller when one is installed; peer
+// cache frames bypass it deliberately — they are cheap memory operations,
+// and shedding them would push a neighbor's misses to the backend, the
+// opposite of protecting the cluster under load.
 func (s *Server) handleFrame(fr *wire.Frame) wire.Frame {
 	switch fr.Type {
 	case framePeerGet:
@@ -285,15 +338,34 @@ func (s *Server) handleFrame(fr *wire.Frame) wire.Frame {
 	case framePeerPut:
 		return s.handlePeerPut(fr)
 	}
-	var resp *Response
 	if fr.Type != frameQuery {
-		resp = &Response{Err: fmt.Sprintf("unknown frame type 0x%02x", fr.Type)}
-	} else if query, err := decodeQuery(fr.Payload); err != nil {
-		resp = &Response{Err: err.Error()}
-	} else {
-		resp = s.answer(Request{Query: query})
+		resp := &Response{Err: fmt.Sprintf("unknown frame type 0x%02x", fr.Type)}
+		return wire.Frame{Type: frameAnswer, Payload: encodeResponse(nil, resp)}
 	}
-	return wire.Frame{Type: frameAnswer, Payload: encodeResponse(nil, resp)}
+	query, tenant, budget, err := decodeQuery(fr.Payload)
+	if err != nil {
+		return wire.Frame{Type: frameAnswer, Payload: encodeResponse(nil, &Response{Err: err.Error()})}
+	}
+	req := Request{Query: query, Tenant: tenant, Budget: budget}
+	if s.adm == nil {
+		return wire.Frame{Type: frameAnswer, Payload: encodeResponse(nil, s.answer(req))}
+	}
+	// Pin the absolute deadline before queueing so the budget the engine
+	// runs under is what remains after the queue wait, not the original.
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+	release, busy := s.adm.Admit(tenant, budget)
+	if busy != nil {
+		return wire.BusyFrame(busy.RetryAfter, busy.Reason)
+	}
+	if !deadline.IsZero() {
+		req.Budget = time.Until(deadline)
+	}
+	payload := encodeResponse(nil, s.answer(req))
+	release(len(payload))
+	return wire.Frame{Type: frameAnswer, Payload: payload}
 }
 
 // answer executes one query, recording metrics and a trace-ring entry for
@@ -316,9 +388,16 @@ func (s *Server) answer(req Request) *Response {
 	}
 	lat := s.grid.Lattice()
 	ctx := context.Background()
-	if s.queryTimeout > 0 {
+	timeout := s.queryTimeout
+	if req.Budget > 0 && (timeout <= 0 || req.Budget < timeout) {
+		// The client's deadline budget is tighter than the server policy:
+		// honoring it means no work continues past the point the client has
+		// given up.
+		timeout = req.Budget
+	}
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 	res, err := s.engine.Execute(ctx, q)
@@ -428,6 +507,7 @@ type Client struct {
 	mu     sync.Mutex
 	mux    *wire.Mux
 	closed bool
+	tenant string
 }
 
 // Dial connects to a middle-tier server.
@@ -439,6 +519,14 @@ func Dial(addr string) (*Client, error) {
 	return &Client{mux: wire.NewMux(conn, 0, wire.Metrics{})}, nil
 }
 
+// SetTenant attaches a tenant id to every subsequent query, keying the
+// server's per-tenant admission quotas. Empty (the default) is anonymous.
+func (c *Client) SetTenant(id string) {
+	c.mu.Lock()
+	c.tenant = id
+	c.mu.Unlock()
+}
+
 // Query runs one mdq query on the middle tier.
 func (c *Client) Query(src string) (*Response, error) {
 	return c.QueryContext(context.Background(), src)
@@ -446,20 +534,36 @@ func (c *Client) Query(src string) (*Response, error) {
 
 // QueryContext runs one mdq query under a caller-supplied context; the
 // query is abandoned (the connection stays healthy) when the context ends.
+// A context deadline also propagates to the server as the query's budget,
+// so an overloaded server can shed the query up front — replied as a
+// *wire.BusyError, transient per the backend taxonomy — instead of doing
+// work the caller will have abandoned.
 func (c *Client) QueryContext(ctx context.Context, src string) (*Response, error) {
 	c.mu.Lock()
 	m := c.mux
 	closed := c.closed
+	tenant := c.tenant
 	c.mu.Unlock()
 	if closed || m == nil {
 		return nil, errors.New("mtier: client is closed")
 	}
-	fr, err := m.RoundTrip(ctx, frameQuery, 0, encodeQuery(nil, src), time.Time{})
+	var budget time.Duration
+	if d, ok := ctx.Deadline(); ok {
+		if budget = time.Until(d); budget <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+	}
+	fr, err := m.RoundTrip(ctx, frameQuery, 0, encodeQuery(nil, src, tenant, budget), time.Time{})
 	if err != nil {
 		if errors.Is(err, io.EOF) {
 			err = errors.New("server closed the connection")
 		}
 		return nil, fmt.Errorf("mtier: %w", err)
+	}
+	if fr.Type == wire.FrameBusy {
+		// Load shedding: transient by the PR-3 taxonomy (backend.IsTransient
+		// is true for BusyError), so retry loops back off per the hint.
+		return nil, fmt.Errorf("mtier: %w", wire.DecodeBusy(fr.Payload))
 	}
 	if fr.Type != frameAnswer {
 		return nil, fmt.Errorf("mtier: unexpected frame type 0x%02x", fr.Type)

@@ -315,6 +315,11 @@ func (c *PeerClient) exchange(ctx context.Context, typ uint8, payload []byte) (*
 		c.dropMux(m)
 		return nil, backend.MarkTransient(fmt.Errorf("mtier: peer exchange: %w", err))
 	}
+	if fr.Type == wire.FrameBusy {
+		// A shedding peer is transient, not a protocol violation: the fill
+		// falls back to the backend and the put is dropped, both by design.
+		return nil, wire.DecodeBusy(fr.Payload)
+	}
 	if fr.Type == framePeerErr {
 		d := wire.NewDec(fr.Payload)
 		rerr := &backend.RemoteError{Msg: d.String()}

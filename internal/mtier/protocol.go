@@ -2,6 +2,8 @@ package mtier
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"aggcache/internal/wire"
 )
@@ -24,19 +26,40 @@ const (
 	respDegraded    uint8 = 1 << 2
 )
 
-// encodeQuery appends a frameQuery payload.
-func encodeQuery(b []byte, query string) []byte {
-	return wire.AppendString(b, query)
+// encodeQuery appends a frameQuery payload:
+//
+//	query str [| tenant str | budget_ms u32]
+//
+// The tenant/budget tail was added with admission control. Compatibility is
+// tolerant in both directions: an old decoder reads only the query string
+// and ignores trailing bytes, and a new decoder treats an absent tail as an
+// anonymous query with no deadline budget.
+func encodeQuery(b []byte, query, tenant string, budget time.Duration) []byte {
+	b = wire.AppendString(b, query)
+	ms := budget.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > math.MaxUint32 {
+		ms = math.MaxUint32
+	}
+	b = wire.AppendString(b, tenant)
+	return wire.AppendU32(b, uint32(ms))
 }
 
-// decodeQuery parses a frameQuery payload.
-func decodeQuery(p []byte) (string, error) {
+// decodeQuery parses a frameQuery payload, with or without the
+// tenant/budget tail.
+func decodeQuery(p []byte) (query, tenant string, budget time.Duration, err error) {
 	d := wire.NewDec(p)
-	q := d.String()
-	if err := d.Err(); err != nil {
-		return "", fmt.Errorf("mtier: malformed query payload")
+	query = d.String()
+	if d.Err() == nil && d.Remaining() > 0 {
+		tenant = d.String()
+		budget = time.Duration(d.U32()) * time.Millisecond
 	}
-	return q, nil
+	if d.Err() != nil {
+		return "", "", 0, fmt.Errorf("mtier: malformed query payload")
+	}
+	return query, tenant, budget, nil
 }
 
 // encodeResponse appends a frameAnswer payload:

@@ -144,6 +144,7 @@ type BackendMetrics struct {
 	WireErrors    *Counter
 	IdleCloses    *Counter
 	Panics        *Counter
+	Sheds         *Counter
 	WireBytesIn   *Counter
 	WireBytesOut  *Counter
 	FramesIn      *Counter
@@ -163,6 +164,7 @@ func NewBackendMetrics(r *Registry) BackendMetrics {
 		WireErrors:    r.Counter("aggcache_backend_wire_errors_total", "Connections torn down by malformed frames, resets or write failures."),
 		IdleCloses:    r.Counter("aggcache_backend_idle_closes_total", "Idle connections reaped by the read deadline (not errors)."),
 		Panics:        r.Counter("aggcache_backend_request_panics_total", "Requests whose handler panicked and was recovered into an error response."),
+		Sheds:         r.Counter("aggcache_backend_sheds_total", "Requests refused with a Busy reply by the server-wide in-flight limit."),
 		WireBytesIn:   r.Counter("aggcache_backend_wire_bytes_in_total", "Frame bytes received by the backend server."),
 		WireBytesOut:  r.Counter("aggcache_backend_wire_bytes_out_total", "Frame bytes sent by the backend server."),
 		FramesIn:      r.Counter("aggcache_backend_wire_frames_in_total", "Frames received by the backend server."),
@@ -220,6 +222,7 @@ type RemoteMetrics struct {
 	Retries      *Counter
 	Redials      *Counter
 	Unavailable  *Counter
+	Busy         *Counter
 	WireBytesIn  *Counter
 	WireBytesOut *Counter
 	FramesIn     *Counter
@@ -234,6 +237,7 @@ func NewRemoteMetrics(r *Registry) RemoteMetrics {
 		Retries:      r.Counter("aggcache_remote_retries_total", "Attempts beyond the first, after a transient failure."),
 		Redials:      r.Counter("aggcache_remote_redials_total", "Reconnects after a torn-down backend connection."),
 		Unavailable:  r.Counter("aggcache_remote_unavailable_total", "Requests abandoned after exhausting the retry budget."),
+		Busy:         r.Counter("aggcache_remote_busy_total", "Busy (shed) replies received from the server."),
 		WireBytesIn:  r.Counter("aggcache_remote_wire_bytes_in_total", "Frame bytes received from the backend."),
 		WireBytesOut: r.Counter("aggcache_remote_wire_bytes_out_total", "Frame bytes sent to the backend."),
 		FramesIn:     r.Counter("aggcache_remote_wire_frames_in_total", "Frames received from the backend."),
@@ -272,6 +276,37 @@ func NewPeerMetrics(r *Registry, peer string) PeerMetrics {
 
 		BreakerState: r.Gauge("aggcache_peer_breaker_state"+l, "Per-peer breaker state: 0 closed, 1 probing, 2 open."),
 		Latency:      r.Histogram("aggcache_peer_fill_seconds"+l, "Peer-fill exchange latency."),
+	}
+}
+
+// AdmissionMetrics instruments the middle-tier admission controller: the
+// queue's live depth, admitted traffic, queue-wait latency, and sheds split
+// by cause so a flash crowd (queue_full) reads differently from a scan
+// flood of unmeetable deadlines (deadline) or a quota-capped tenant (quota).
+type AdmissionMetrics struct {
+	Admitted *Counter
+
+	ShedQueueFull *Counter
+	ShedDeadline  *Counter
+	ShedExpired   *Counter
+	ShedQuota     *Counter
+
+	QueueDepth *Gauge
+	QueueWait  *Histogram
+}
+
+// NewAdmissionMetrics registers the admission metric set on r.
+func NewAdmissionMetrics(r *Registry) AdmissionMetrics {
+	return AdmissionMetrics{
+		Admitted: r.Counter("aggcache_admission_admitted_total", "Requests admitted past the admission queue to the engine."),
+
+		ShedQueueFull: r.Counter(`aggcache_admission_sheds_total{reason="queue_full"}`, "Requests shed before execution, by cause: admission queue full, deadline unmeetable at enqueue, deadline expired while queued, or tenant quota exhausted."),
+		ShedDeadline:  r.Counter(`aggcache_admission_sheds_total{reason="deadline"}`, ""),
+		ShedExpired:   r.Counter(`aggcache_admission_sheds_total{reason="expired"}`, ""),
+		ShedQuota:     r.Counter(`aggcache_admission_sheds_total{reason="quota"}`, ""),
+
+		QueueDepth: r.Gauge("aggcache_admission_queue_depth", "Requests currently waiting for an execution slot."),
+		QueueWait:  r.Histogram("aggcache_admission_queue_wait_seconds", "Time admitted requests spent waiting for an execution slot."),
 	}
 }
 

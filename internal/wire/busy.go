@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// FrameBusy is the 429-equivalent in-band reply shared by every protocol on
+// this framing layer: the server is refusing the request *before* doing any
+// work on it — admission queue full, deadline unmeetable, quota exhausted —
+// as opposed to failing while serving it (an error frame). The payload
+// carries a retry-after hint and a shed reason:
+//
+//	retry_after_ms u32 | reason str
+//
+// Busy frames always carry FlagTransient: the request itself is fine and a
+// retry after the hint may succeed, so clients route it through the PR-3
+// taxonomy (IsTransient=true) and back off instead of hammering a server
+// that is already drowning. The type value is reserved across the backend
+// and middle-tier protocols, like the frame header itself.
+const FrameBusy uint8 = 0xB9
+
+// BusyError is the client-side form of a FrameBusy reply. It is transient by
+// construction — backend.IsTransient reports true for it — and carries the
+// server's retry-after hint so backoff loops can wait at least that long.
+type BusyError struct {
+	// RetryAfter is the server's hint: how long to wait before retrying.
+	RetryAfter time.Duration
+	// Reason is the shed cause ("queue_full", "deadline", "expired",
+	// "quota"), for logs and metrics.
+	Reason string
+}
+
+// Error implements error.
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("server busy (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// AsBusy extracts a BusyError from an error chain.
+func AsBusy(err error) (*BusyError, bool) {
+	var be *BusyError
+	if errors.As(err, &be) {
+		return be, true
+	}
+	return nil, false
+}
+
+// BusyFrame builds a FrameBusy reply with the transient flag set.
+func BusyFrame(retryAfter time.Duration, reason string) Frame {
+	p := AppendU32(nil, uint32(retryAfter.Milliseconds()))
+	p = AppendString(p, reason)
+	return Frame{Type: FrameBusy, Flags: FlagTransient, Payload: p}
+}
+
+// DecodeBusy parses a FrameBusy payload into the error it represents. A
+// malformed payload still yields a usable BusyError (zero hint), because a
+// busy server's reply must never be escalated into a connection teardown.
+func DecodeBusy(p []byte) *BusyError {
+	d := NewDec(p)
+	ms := d.U32()
+	reason := d.String()
+	if d.Err() != nil {
+		return &BusyError{}
+	}
+	return &BusyError{RetryAfter: time.Duration(ms) * time.Millisecond, Reason: reason}
+}

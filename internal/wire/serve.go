@@ -12,6 +12,11 @@ import (
 	"aggcache/internal/obs"
 )
 
+// DefaultMaxInFlight is the per-connection cap on concurrently executing
+// handlers when ConnOptions.MaxInFlight is zero. Both servers expose the
+// knob (-wire-max-inflight); this is only the fallback.
+const DefaultMaxInFlight = 32
+
 // Timeouts bounds one side of a wire conversation so a stuck peer or a
 // runaway request can never wedge a serving goroutine forever. It is shared
 // by the backend and middle-tier servers.
@@ -37,7 +42,8 @@ type ConnOptions struct {
 	// MaxPayload bounds request frames; 0 means DefaultMaxPayload.
 	MaxPayload int
 	// MaxInFlight caps concurrently executing handlers per connection;
-	// 0 means 32. Excess pipelined requests queue on the read loop.
+	// 0 means DefaultMaxInFlight. Excess pipelined requests queue on the
+	// read loop.
 	MaxInFlight int
 	// Metrics receives the frame/byte counters and the in-flight gauge.
 	Metrics Metrics
@@ -62,7 +68,7 @@ type Handler func(fr *Frame) Frame
 // handlers have finished; the caller owns closing conn.
 func ServeConn(conn net.Conn, opt ConnOptions, h Handler) {
 	if opt.MaxInFlight <= 0 {
-		opt.MaxInFlight = 32
+		opt.MaxInFlight = DefaultMaxInFlight
 	}
 	r := NewReader(conn, opt.MaxPayload, opt.Metrics)
 	w := NewWriter(conn, opt.Metrics)
