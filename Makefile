@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernel bench-shards bench-wire bench-cluster bench-overload soak-shards soak-cluster soak-overload fuzz-wire fuzz-peer fmt lint cover chaos ci FORCE
+.PHONY: build test vet race bench bench-kernel bench-shards bench-wire bench-cluster bench-overload bench-recycle soak-shards soak-cluster soak-overload fuzz-wire fuzz-peer fmt lint cover chaos ci FORCE
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,13 @@ bench-cluster:
 # BENCH_8.json; CI gates goodput at 2× overload ≥ 80% of capacity).
 bench-overload:
 	$(GO) run ./cmd/aggbench -scale tiny -exp overload
+
+# bench-recycle compares benefit-driven recycling of intermediate aggregates
+# + the semantic result cache against the plain engine on drill/jump and
+# proximity mixes (writes BENCH_9.json; CI gates the drill-mix qps and hit
+# rate with recycling on >= off and no proximity regression).
+bench-recycle:
+	$(GO) run ./cmd/aggbench -scale medium -exp recycle -queries 200
 
 # fuzz-wire smoke-fuzzes the frame and chunk-slab codecs: malformed input
 # must never panic or over-allocate.

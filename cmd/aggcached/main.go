@@ -48,18 +48,21 @@ import (
 
 func main() {
 	var (
-		scaleFlag   = flag.String("scale", "small", "dataset scale: tiny|small|medium|full")
-		seedFlag    = flag.Int64("seed", 1, "generator seed (in-process backend)")
-		stratFlag   = flag.String("strategy", "VCMC", "lookup strategy: ESM|ESMC|VCM|VCMC|NoAgg")
-		cacheKBFlag = flag.Int64("cache-kb", 512, "cache size in KB")
-		shardsFlag  = flag.Int("cache-shards", 1, "cache shard count (power of two, max 64); 1 = single lock, 0 = auto (GOMAXPROCS)")
-		backendFlag = flag.String("backend", "", "remote backend address (empty = in-process)")
-		listenFlag  = flag.String("listen", "127.0.0.1:7071", "listen address")
-		preloadFlag = flag.Bool("preload", false, "preload the best-fitting group-by before serving")
-		bypassFlag  = flag.Bool("cost-bypass", false, "enable the §5.2 cost-based cache/backend routing")
-		snapFlag    = flag.String("snapshot", "", "cache snapshot file: loaded at startup if present, written on shutdown")
-		opsFlag     = flag.String("ops", "", "ops HTTP listen address serving /metrics, /healthz, /traces and /debug/pprof (empty = disabled)")
-		tracesFlag  = flag.Int("traces", obs.DefaultTraceDepth, "query traces retained for /traces")
+		scaleFlag       = flag.String("scale", "small", "dataset scale: tiny|small|medium|full")
+		seedFlag        = flag.Int64("seed", 1, "generator seed (in-process backend)")
+		stratFlag       = flag.String("strategy", "VCMC", "lookup strategy: ESM|ESMC|VCM|VCMC|NoAgg")
+		cacheKBFlag     = flag.Int64("cache-kb", 512, "cache size in KB")
+		shardsFlag      = flag.Int("cache-shards", 1, "cache shard count (power of two, max 64); 1 = single lock, 0 = auto (GOMAXPROCS)")
+		backendFlag     = flag.String("backend", "", "remote backend address (empty = in-process)")
+		listenFlag      = flag.String("listen", "127.0.0.1:7071", "listen address")
+		preloadFlag     = flag.Bool("preload", false, "preload the best-fitting group-by before serving")
+		bypassFlag      = flag.Bool("cost-bypass", false, "enable the §5.2 cost-based cache/backend routing")
+		recycleFlag     = flag.Bool("recycle", true, "benefit-driven recycling of intermediate aggregates (admits profitable interior roll-ups; uses the probation+promote replacement rings)")
+		recycleMinFlag  = flag.Float64("recycle-min-benefit", core.DefaultRecycleMinBenefit, "recycler admission threshold in saved recompute cost per byte (0 = default)")
+		resultCacheFlag = flag.Int("result-cache", 256, "semantic result-cache entries above the chunk cache (0 = disabled)")
+		snapFlag        = flag.String("snapshot", "", "cache snapshot file: loaded at startup if present, written on shutdown")
+		opsFlag         = flag.String("ops", "", "ops HTTP listen address serving /metrics, /healthz, /traces and /debug/pprof (empty = disabled)")
+		tracesFlag      = flag.Int("traces", obs.DefaultTraceDepth, "query traces retained for /traces")
 
 		queryTimeoutFlag = flag.Duration("query-timeout", 0, "per-query execution deadline (0 = unbounded)")
 		attemptsFlag     = flag.Int("backend-attempts", backend.DefaultRetryPolicy.MaxAttempts, "tries per remote backend request, including the first")
@@ -168,7 +171,14 @@ func main() {
 	if reg != nil {
 		copts = append(copts, cache.WithMetrics(obs.NewCacheMetrics(reg)))
 	}
-	c, err := cache.New(*cacheKBFlag<<10, cache.NewTwoLevel(), copts...)
+	// With recycling, replacement runs the probation+promote variant:
+	// recycled intermediates enter a probationary ring and only reuse
+	// (Reinforce) moves them next to the proven working set.
+	pol := cache.NewTwoLevel()
+	if *recycleFlag {
+		pol = cache.NewTwoLevelPromote()
+	}
+	c, err := cache.New(*cacheKBFlag<<10, pol, copts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -206,7 +216,12 @@ func main() {
 		fmt.Printf("aggcached: cluster %s, self=%s\n", pc.Ring(), self)
 	}
 
-	eopts := []core.Option{core.WithCostBypass(*bypassFlag)}
+	eopts := []core.Option{
+		core.WithCostBypass(*bypassFlag),
+		core.WithRecycling(*recycleFlag),
+		core.WithRecycleMinBenefit(*recycleMinFlag),
+		core.WithResultCache(*resultCacheFlag),
+	}
 	if reg != nil {
 		eopts = append(eopts, core.WithMetrics(obs.NewEngineMetrics(reg)))
 	}

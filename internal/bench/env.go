@@ -161,9 +161,10 @@ type PolicyName string
 
 // Policy names accepted by NewPolicy.
 const (
-	PolicyBenefit  PolicyName = "benefit"
-	PolicyTwoLevel PolicyName = "two-level"
-	PolicyLRU      PolicyName = "lru"
+	PolicyBenefit         PolicyName = "benefit"
+	PolicyTwoLevel        PolicyName = "two-level"
+	PolicyTwoLevelPromote PolicyName = "two-level-promote"
+	PolicyLRU             PolicyName = "lru"
 )
 
 // NewPolicy instantiates a fresh replacement policy.
@@ -173,6 +174,8 @@ func NewPolicy(name PolicyName) (cache.Policy, error) {
 		return cache.NewBenefitClock(), nil
 	case PolicyTwoLevel:
 		return cache.NewTwoLevel(), nil
+	case PolicyTwoLevelPromote:
+		return cache.NewTwoLevelPromote(), nil
 	case PolicyLRU:
 		return cache.NewLRU(), nil
 	}

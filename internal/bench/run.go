@@ -80,6 +80,7 @@ var experiments = []struct {
 	{"chaos", one(Chaos)},
 	{"cluster", one(Cluster)},
 	{"overload", one(Overload)},
+	{"recycle", one(Recycle)},
 }
 
 // aliases maps alternative ids (artifacts that share a runner) to canonical

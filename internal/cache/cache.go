@@ -49,6 +49,12 @@ type Entry struct {
 	Data    *chunk.Chunk
 	Class   Class
 	Benefit float64 // recomputation cost in cost units; drives replacement
+	// Recycled marks a speculatively admitted intermediate aggregate
+	// (InsertRecycled). Strategies give such entries lightweight,
+	// presence-only maintenance: they serve lookups as resident chunks but
+	// stay out of the count/cost bookkeeping, so admitting and evicting
+	// them is O(1) instead of a lattice propagation.
+	Recycled bool
 
 	clock      float64
 	pins       int
@@ -246,6 +252,17 @@ func (c *Cache) Peek(k Key) (*chunk.Chunk, bool) {
 // chunk larger than the whole cache is not admitted, and an oversized
 // replacement leaves the old entry resident.
 func (c *Cache) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool {
+	return c.insert(k, data, cl, benefit, false)
+}
+
+// InsertRecycled admits a speculative intermediate aggregate: a
+// computed-class resident whose Entry carries the Recycled mark, telling
+// listener strategies to maintain presence only (no count/cost propagation).
+func (c *Cache) InsertRecycled(k Key, data *chunk.Chunk, benefit float64) bool {
+	return c.insert(k, data, ClassComputed, benefit, true)
+}
+
+func (c *Cache) insert(k Key, data *chunk.Chunk, cl Class, benefit float64, recycled bool) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	need := data.Bytes()
@@ -279,6 +296,10 @@ func (c *Cache) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool
 			c.policy.Added(e)
 		}
 		e.Benefit = benefit
+		// e.Recycled keeps its insert-time value: replacement fires no
+		// listener events, and the strategy's eviction dual must match
+		// whatever maintenance OnInsert performed for this residency.
+		_ = recycled
 		c.policy.Accessed(e)
 		c.met.Replacements.Inc()
 		c.syncGauges()
@@ -293,7 +314,7 @@ func (c *Cache) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool
 		}
 		c.remove(v, true)
 	}
-	e := &Entry{Key: k, Data: data, Class: cl, Benefit: benefit}
+	e := &Entry{Key: k, Data: data, Class: cl, Benefit: benefit, Recycled: recycled}
 	c.entries[k] = e
 	c.used += need
 	c.stats.Inserts++

@@ -215,6 +215,60 @@ func TestTwoLevelReinforceKeepsGroup(t *testing.T) {
 	}
 }
 
+// TestTwoLevelPromoteOnReuse: under the promote variant, a computed-class
+// entry that gets reinforced (it served as an aggregation input) moves to
+// the protected ring — computed-class pressure can no longer displace it —
+// while its Class keeps reporting computed provenance.
+func TestTwoLevelPromoteOnReuse(t *testing.T) {
+	c, _ := New(700, NewTwoLevelPromote())
+	c.Insert(key(1), mkChunk(0, 1, 10), ClassComputed, 1)
+	c.Insert(key(2), mkChunk(0, 2, 10), ClassComputed, 1)
+	c.Reinforce([]Key{key(1)}, 1) // first reuse: promoted
+
+	// Sustained computed-class pressure. Without promotion key 1's clock is
+	// capped at maxClock, so this many evicting inserts would sweep it out;
+	// promoted, it is invisible to computed-class victim scans.
+	for i := 0; i < 3*maxClock; i++ {
+		c.Insert(key(10+i), mkChunk(0, 10+i, 10), ClassComputed, 1e9)
+	}
+	if !c.Contains(key(1)) {
+		t.Fatalf("promoted entry displaced by computed-class pressure")
+	}
+
+	// Provenance survives the ring change: the entry still reports
+	// ClassComputed (so a Peered store would still never replicate it).
+	cl := ClassBackend
+	c.Range(func(k Key, _ *chunk.Chunk, class Class, _ float64) {
+		if k == key(1) {
+			cl = class
+		}
+	})
+	if cl != ClassComputed {
+		t.Fatalf("promoted entry class = %v, want ClassComputed", cl)
+	}
+
+	// The plain policy must sweep key 1 under the same pressure — promotion
+	// is what protected it above.
+	p, _ := New(700, NewTwoLevel())
+	p.Insert(key(1), mkChunk(0, 1, 10), ClassComputed, 1)
+	p.Insert(key(2), mkChunk(0, 2, 10), ClassComputed, 1)
+	p.Reinforce([]Key{key(1)}, 1)
+	for i := 0; i < 3*maxClock; i++ {
+		p.Insert(key(10+i), mkChunk(0, 10+i, 10), ClassComputed, 1e9)
+	}
+	if p.Contains(key(1)) {
+		t.Fatalf("plain two-level kept the entry; promote test proves nothing")
+	}
+
+	// Fork preserves the variant.
+	if NewTwoLevelPromote().Fork().Name() != "two-level-promote" {
+		t.Fatalf("Fork dropped the promote setting")
+	}
+	if NewTwoLevel().Fork().Name() != "two-level" {
+		t.Fatalf("plain Fork gained the promote setting")
+	}
+}
+
 func TestClockWeight(t *testing.T) {
 	if w := clockWeight(-5); w != 1 {
 		t.Fatalf("clockWeight(-5) = %v", w)

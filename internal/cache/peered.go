@@ -535,6 +535,13 @@ func (p *Peered) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) boo
 	return ok
 }
 
+// InsertRecycled implements Store: recycled intermediates stay strictly
+// local — they are speculative and cheap to rebuild, so they are never
+// replicated to ring owners.
+func (p *Peered) InsertRecycled(k Key, data *chunk.Chunk, benefit float64) bool {
+	return p.local.InsertRecycled(k, data, benefit)
+}
+
 // Evict implements Store (local tier only).
 func (p *Peered) Evict(k Key) bool { return p.local.Evict(k) }
 

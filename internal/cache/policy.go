@@ -92,6 +92,36 @@ func (r *ring) sweep() *Entry {
 	return min
 }
 
+// sweepClass runs the CLOCK pass over r but considers — and ages — only
+// unpinned entries of class cl; entries of other classes are passed over
+// untouched, so a computed-class scan cannot erode backend weights.
+func (r *ring) sweepClass(cl Class) *Entry {
+	if r.n == 0 {
+		return nil
+	}
+	limit := r.n * int(maxClock+1)
+	for i := 0; i < limit; i++ {
+		e := r.hand
+		r.hand = e.next
+		if e.Pinned() || e.Class != cl {
+			continue
+		}
+		if e.clock <= 0 {
+			return e
+		}
+		e.clock--
+	}
+	var min *Entry
+	e := r.hand
+	for i := 0; i < r.n; i++ {
+		if !e.Pinned() && e.Class == cl && (min == nil || e.clock < min.clock) {
+			min = e
+		}
+		e = e.next
+	}
+	return min
+}
+
 // BenefitClock is the [DRSN98] baseline replacement policy: a CLOCK
 // approximation of LRU where each chunk's weight is its benefit (cost to
 // recompute), so highly aggregated, expensive chunks survive longer.
@@ -137,6 +167,11 @@ func (p *BenefitClock) Fork() Policy { return NewBenefitClock() }
 type TwoLevel struct {
 	backend  ring
 	computed ring
+	promote  bool
+	// promoted counts computed-class entries living in the backend ring
+	// (promote-on-reuse migrations), so the computed victim scan knows
+	// whether a filtered sweep of the protected ring can find anything.
+	promoted int
 }
 
 // NewTwoLevel returns the paper's two-level policy.
@@ -147,8 +182,27 @@ func NewTwoLevel() *TwoLevel {
 	return p
 }
 
+// NewTwoLevelPromote returns the two-level policy with promote-on-reuse:
+// a computed-class entry that gets reinforced (i.e. it actually served as an
+// aggregation input after being admitted) migrates to the protected ring, so
+// proven-useful recycled intermediates stop competing with speculative ones.
+// Entry.Class still records provenance (a promoted entry remains
+// ClassComputed and is never replicated to peers); only its replacement ring
+// changes. The plain NewTwoLevel keeps the paper's exact §6.3 semantics for
+// the replication experiments.
+func NewTwoLevelPromote() *TwoLevel {
+	p := NewTwoLevel()
+	p.promote = true
+	return p
+}
+
 // Name implements Policy.
-func (p *TwoLevel) Name() string { return "two-level" }
+func (p *TwoLevel) Name() string {
+	if p.promote {
+		return "two-level-promote"
+	}
+	return "two-level"
+}
 
 func (p *TwoLevel) ringOf(e *Entry) *ring {
 	if e.ringID == 0 {
@@ -157,37 +211,65 @@ func (p *TwoLevel) ringOf(e *Entry) *ring {
 	return &p.computed
 }
 
-// Added implements Policy.
+// Added implements Policy. Under promote-on-reuse, computed-class arrivals
+// are probationary: they enter at the minimum clock weight so unproven
+// chunks are the first reclaimed, and earn their benefit-derived weight with
+// the first reinforcement (which also promotes them to the protected ring).
 func (p *TwoLevel) Added(e *Entry) {
 	e.clock = clockWeight(e.Benefit)
 	if e.Class == ClassBackend {
 		p.backend.push(e)
-	} else {
-		p.computed.push(e)
+		return
 	}
+	if p.promote {
+		e.clock = 1
+	}
+	p.computed.push(e)
 }
 
 // Removed implements Policy.
-func (p *TwoLevel) Removed(e *Entry) { p.ringOf(e).drop(e) }
+func (p *TwoLevel) Removed(e *Entry) {
+	if e.ringID == p.backend.id && e.Class != ClassBackend {
+		p.promoted--
+	}
+	p.ringOf(e).drop(e)
+}
 
 // Accessed implements Policy.
 func (p *TwoLevel) Accessed(e *Entry) { e.clock = clockWeight(e.Benefit) }
 
 // Reinforced implements Policy: add the aggregate's (log-scaled) benefit to
-// the member's clock, capped so entries stay evictable eventually.
+// the member's clock, capped so entries stay evictable eventually. Under
+// promote-on-reuse, the first reinforcement of a computed-ring entry also
+// moves it to the protected ring.
 func (p *TwoLevel) Reinforced(e *Entry, benefit float64) {
 	e.clock += clockWeight(benefit)
 	if e.clock > maxClock {
 		e.clock = maxClock
 	}
+	if p.promote && e.ringID == p.computed.id {
+		p.computed.drop(e)
+		p.backend.push(e)
+		p.promoted++
+	}
 }
 
 // NextVictim implements Policy. Computed chunks can only displace computed
 // chunks; backend chunks displace computed chunks first, then other backend
-// chunks.
+// chunks. Under promote-on-reuse, a computed-class scan that finds the
+// computed ring empty falls back to a class-filtered sweep of the protected
+// ring: promoted intermediates are reclaimable as a last resort, true
+// backend fills never are — otherwise promotions would slowly lock the whole
+// cache against fresh computed inserts.
 func (p *TwoLevel) NextVictim(cl Class) *Entry {
 	if cl == ClassComputed {
-		return p.computed.sweep()
+		if v := p.computed.sweep(); v != nil {
+			return v
+		}
+		if p.promote && p.promoted > 0 {
+			return p.backend.sweepClass(ClassComputed)
+		}
+		return nil
 	}
 	if v := p.computed.sweep(); v != nil {
 		return v
@@ -195,5 +277,10 @@ func (p *TwoLevel) NextVictim(cl Class) *Entry {
 	return p.backend.sweep()
 }
 
-// Fork implements Forker.
-func (p *TwoLevel) Fork() Policy { return NewTwoLevel() }
+// Fork implements Forker, preserving the promote-on-reuse setting.
+func (p *TwoLevel) Fork() Policy {
+	if p.promote {
+		return NewTwoLevelPromote()
+	}
+	return NewTwoLevel()
+}

@@ -227,6 +227,15 @@ func (c *Sharded) Peek(k Key) (*chunk.Chunk, bool) {
 // and the global capacity (reserved atomically, evicting locally until the
 // reservation fits).
 func (c *Sharded) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool {
+	return c.insert(k, data, cl, benefit, false)
+}
+
+// InsertRecycled implements Store; see Cache.InsertRecycled.
+func (c *Sharded) InsertRecycled(k Key, data *chunk.Chunk, benefit float64) bool {
+	return c.insert(k, data, ClassComputed, benefit, true)
+}
+
+func (c *Sharded) insert(k Key, data *chunk.Chunk, cl Class, benefit float64, recycled bool) bool {
 	need := data.Bytes()
 	s := c.shard(k)
 	s.mu.Lock()
@@ -260,6 +269,10 @@ func (c *Sharded) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bo
 			s.policy.Added(e)
 		}
 		e.Benefit = benefit
+		// e.Recycled keeps its insert-time value: replacement fires no
+		// listener events, and the strategy's eviction dual must match
+		// whatever maintenance OnInsert performed for this residency.
+		_ = recycled
 		s.policy.Accessed(e)
 		c.met.Replacements.Inc()
 		c.syncGauges()
@@ -270,7 +283,7 @@ func (c *Sharded) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bo
 		c.met.Denied.Inc()
 		return false
 	}
-	e := &Entry{Key: k, Data: data, Class: cl, Benefit: benefit}
+	e := &Entry{Key: k, Data: data, Class: cl, Benefit: benefit, Recycled: recycled}
 	s.entries[k] = e
 	s.used += need
 	c.resident.Add(1)

@@ -33,6 +33,12 @@ type Store interface {
 	// and reports whether the chunk was admitted. See Cache.Insert for the
 	// replacement semantics every implementation follows.
 	Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool
+	// InsertRecycled admits a speculative intermediate aggregate as a
+	// computed-class resident whose Entry carries the Recycled mark, so
+	// listener strategies apply presence-only (O(1)) maintenance instead of
+	// full count/cost propagation. Peered stores never replicate such
+	// chunks.
+	InsertRecycled(k Key, data *chunk.Chunk, benefit float64) bool
 	// Evict removes k if resident (administrative removal, not a policy
 	// eviction).
 	Evict(k Key) bool

@@ -22,12 +22,14 @@ import (
 // options collects the engine tunables; construct through the With…
 // functional options on New.
 type options struct {
-	backendPenalty      float64
-	connectCostUnits    float64
-	insertIntermediates bool
-	disableReinforce    bool
-	costBypass          bool
-	metrics             *obs.EngineMetrics
+	backendPenalty    float64
+	connectCostUnits  float64
+	recycle           bool
+	recycleMinBenefit float64
+	resultEntries     int
+	disableReinforce  bool
+	costBypass        bool
+	metrics           *obs.EngineMetrics
 }
 
 // Option tunes the engine at construction time. Options are applied in
@@ -56,11 +58,53 @@ func WithConnectCost(units float64) Option {
 	}
 }
 
-// WithInsertIntermediates(true) also caches the interior chunks a plan
-// materializes, not just the final one. Off by default (the paper caches the
-// newly computed chunk).
-func WithInsertIntermediates(on bool) Option {
-	return func(o *options) { o.insertIntermediates = on }
+// DefaultRecycleMinBenefit is the admission threshold for recycled
+// intermediates, in recompute-cost units (tuples scanned) saved per byte
+// retained. A chunk's footprint is ≈24 bytes per cell, so the default admits
+// interior nodes that fold ≥24 input cells into each output cell. That bar is
+// deliberately high: a recycled chunk displaces its own size in resident
+// chunks, and a typical non-speculative computed resident is worth on the
+// order of one cost unit per byte (it was derived by scanning a few times its
+// own cells), so only intermediates at least that valuable should speculate.
+// Sweeping the threshold on ad-hoc multi-level streams (bench "recycle")
+// shows response time improving monotonically from 0.125 up to ≈1.0 and
+// plateauing there — permissive thresholds admit copy-through nodes whose
+// displacement of proven residents costs more than their reuse saves.
+const DefaultRecycleMinBenefit = 1.0
+
+// WithRecycling(true) enables benefit-driven recycling of intermediate
+// aggregates: every interior plan node materialized during in-cache
+// aggregation — and every lattice roll-up fully covered by an arriving
+// backend batch — is scored in O(1) via the strategy's CostEstimate and
+// admitted to the cache as a computed-class chunk when the recompute cost it
+// saves per byte clears the threshold (WithRecycleMinBenefit). Off by
+// default: the paper's engine caches only the newly computed result chunk.
+func WithRecycling(on bool) Option {
+	return func(o *options) { o.recycle = on }
+}
+
+// WithRecycleMinBenefit sets the recycler's admission threshold in saved
+// recompute cost (tuples) per byte. Non-positive values keep the default.
+func WithRecycleMinBenefit(perByte float64) Option {
+	return func(o *options) {
+		if perByte > 0 {
+			o.recycleMinBenefit = perByte
+		}
+	}
+}
+
+// WithResultCache bounds the semantic result cache above the chunk cache at
+// the given number of entries (0, the default, disables it). Canonicalized
+// (group-by, chunk-range) rectangles map to their assembled chunk sets;
+// repeated or contained queries are answered without planning, aggregation
+// or backend work. Entries are dropped as soon as any contributing chunk is
+// evicted from the store.
+func WithResultCache(entries int) Option {
+	return func(o *options) {
+		if entries >= 0 {
+			o.resultEntries = entries
+		}
+	}
 }
 
 // WithReinforce(false) turns off group reinforcement (§6.3 second bullet);
@@ -110,7 +154,14 @@ type Stats struct {
 	DegradedHits int64
 	// Unavailable counts queries that failed with ErrBackendUnavailable.
 	Unavailable int64
-	Breakdown   metrics.Breakdown
+	// Recycled counts intermediate aggregates the benefit heuristic admitted
+	// to the cache; RecycleRejected counts the interior nodes it declined.
+	Recycled        int64
+	RecycleRejected int64
+	// ResultCacheHits counts queries answered entirely from the semantic
+	// result cache (exact or by containment subsumption).
+	ResultCacheHits int64
+	Breakdown       metrics.Breakdown
 }
 
 // engineStats is the engine's internal, atomically updated counterpart of
@@ -126,6 +177,9 @@ type engineStats struct {
 	peerChunks     atomic.Int64
 	degradedHits   atomic.Int64
 	unavailable    atomic.Int64
+	recycled       atomic.Int64
+	recycleRejects atomic.Int64
+	resultHits     atomic.Int64
 
 	lookupNS  atomic.Int64
 	aggNS     atomic.Int64
@@ -135,16 +189,19 @@ type engineStats struct {
 
 func (s *engineStats) snapshot() Stats {
 	return Stats{
-		Queries:        s.queries.Load(),
-		CompleteHits:   s.completeHits.Load(),
-		BackendQueries: s.backendQueries.Load(),
-		BackendTuples:  s.backendTuples.Load(),
-		AggTuples:      s.aggTuples.Load(),
-		BudgetMisses:   s.budgetMisses.Load(),
-		Bypassed:       s.bypassed.Load(),
-		PeerChunks:     s.peerChunks.Load(),
-		DegradedHits:   s.degradedHits.Load(),
-		Unavailable:    s.unavailable.Load(),
+		Queries:         s.queries.Load(),
+		CompleteHits:    s.completeHits.Load(),
+		BackendQueries:  s.backendQueries.Load(),
+		BackendTuples:   s.backendTuples.Load(),
+		AggTuples:       s.aggTuples.Load(),
+		BudgetMisses:    s.budgetMisses.Load(),
+		Bypassed:        s.bypassed.Load(),
+		PeerChunks:      s.peerChunks.Load(),
+		DegradedHits:    s.degradedHits.Load(),
+		Unavailable:     s.unavailable.Load(),
+		Recycled:        s.recycled.Load(),
+		RecycleRejected: s.recycleRejects.Load(),
+		ResultCacheHits: s.resultHits.Load(),
 		Breakdown: metrics.Breakdown{
 			Lookup:    time.Duration(s.lookupNS.Load()),
 			Aggregate: time.Duration(s.aggNS.Load()),
@@ -188,6 +245,16 @@ type Engine struct {
 	// (cache.Peered); nil otherwise. Missing chunks are offered to the
 	// key's ring owner before the backend fetch.
 	peers PeerFiller
+	// est is the strategy's O(1) benefit API when it offers one (VCMC, also
+	// through decorators); nil otherwise. The recycler falls back to the
+	// node's exact subtree scan count without it.
+	est strategy.CostEstimator
+	// rcache is the semantic result cache; nil when disabled.
+	rcache *resultCache
+	// recycleSeen is the recycler's one-shot admission ghost set (see
+	// recycleTry); guarded by recycleMu, nil unless recycling is on.
+	recycleMu   sync.Mutex
+	recycleSeen map[cache.Key]struct{}
 }
 
 // PeerFiller is the optional cluster tier a cache store can expose:
@@ -206,11 +273,10 @@ func New(g *chunk.Grid, c cache.Store, s strategy.Strategy, b backend.Backend, s
 	if g == nil || c == nil || s == nil || b == nil || sizes == nil {
 		return nil, errors.New("core: all of grid, cache, strategy, backend and sizer are required")
 	}
-	o := options{backendPenalty: 8, connectCostUnits: 4000}
+	o := options{backendPenalty: 8, connectCostUnits: 4000, recycleMinBenefit: DefaultRecycleMinBenefit}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	c.SetListener(s)
 	e := &Engine{
 		grid:    g,
 		lat:     g.Lattice(),
@@ -221,6 +287,17 @@ func New(g *chunk.Grid, c cache.Store, s strategy.Strategy, b backend.Backend, s
 		opts:    o,
 		flights: flightGroup{m: make(map[flightKey]*flightCall)},
 	}
+	if o.resultEntries > 0 {
+		// Budget the result cache's retained bytes at a quarter of the chunk
+		// cache so subsumption entries never rival the store itself.
+		e.rcache = newResultCache(o.resultEntries, c.Capacity()/4)
+		// Both the strategy and the result cache need eviction callbacks; the
+		// store takes a single listener, so tee them. Callbacks run under the
+		// shard lock — the tee fans out, it never calls back into the store.
+		c.SetListener(listenerTee{s, e.rcache})
+	} else {
+		c.SetListener(s)
+	}
 	if o.metrics != nil {
 		e.met = *o.metrics
 	}
@@ -229,6 +306,12 @@ func New(g *chunk.Grid, c cache.Store, s strategy.Strategy, b backend.Backend, s
 	}
 	if p, ok := c.(PeerFiller); ok {
 		e.peers = p
+	}
+	if est, ok := strategy.AsCostEstimator(s); ok {
+		e.est = est
+	}
+	if o.recycle {
+		e.recycleSeen = make(map[cache.Key]struct{})
 	}
 	return e, nil
 }
@@ -246,12 +329,6 @@ func (e *Engine) Strategy() strategy.Strategy { return e.strat }
 // Stats returns a copy of the cumulative counters.
 func (e *Engine) Stats() Stats { return e.stats.snapshot() }
 
-// SetMetrics attaches live observability metrics. Call it after New and
-// before the first Execute; it is not synchronized with queries in flight.
-//
-// Deprecated: pass WithMetrics to New instead.
-func (e *Engine) SetMetrics(m obs.EngineMetrics) { e.met = m }
-
 // Degraded reports whether the engine is in cache-only degraded mode: its
 // backend carries a circuit breaker and the breaker is not closed. In that
 // state cache-computable queries still succeed and backend-requiring
@@ -268,20 +345,23 @@ type planned struct {
 	leaves []cache.Key
 }
 
-// computed is an interior plan result destined for the cache when
-// InsertIntermediates is on.
+// computed is an interior plan result the recycler admitted, destined for
+// the cache. benefit is the recompute cost the copy saves (tuples scanned),
+// which the replacement policy turns into a clock weight.
 type computed struct {
-	key    cache.Key
-	data   *chunk.Chunk
-	tuples int64
+	key     cache.Key
+	data    *chunk.Chunk
+	tuples  int64
+	benefit float64
 }
 
 // aggOut is the result of materializing one plan outside the cache lock.
 type aggOut struct {
-	data   *chunk.Chunk
-	tuples int64
-	inter  []computed
-	err    error
+	data     *chunk.Chunk
+	tuples   int64
+	inter    []computed
+	rejected int64 // interior nodes the recycler declined
+	err      error
 }
 
 // Execute answers one query: probe the cache per chunk, batch the misses to
@@ -308,13 +388,6 @@ func (e *Engine) Execute(ctx context.Context, q Query) (*Result, error) {
 	return res, err
 }
 
-// ExecuteContext answers one query with a caller-supplied context.
-//
-// Deprecated: Execute is context-first now; call Execute(ctx, q) directly.
-func (e *Engine) ExecuteContext(ctx context.Context, q Query) (*Result, error) {
-	return e.Execute(ctx, q)
-}
-
 // execute is Execute without the error accounting wrapper.
 func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 	nq, err := q.normalize(e.grid)
@@ -322,6 +395,24 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 		return nil, err
 	}
 	nums := nq.chunkNumbers(e.grid)
+
+	// Phase 0 — semantic result cache: an identical or containing rectangle
+	// answered before skips planning, aggregation and the backend outright.
+	if e.rcache != nil {
+		if chunks, keys, benefit, ok := e.rcache.get(nq); ok {
+			res := &Result{Query: nq, Chunks: chunks, CompleteHit: true, HitChunks: len(chunks), FromResultCache: true}
+			if !e.opts.disableReinforce {
+				// The contributing chunks just proved useful again; the
+				// promote-on-reuse policy moves recycled ones to the
+				// protected ring here.
+				e.cache.Reinforce(keys, benefit)
+			}
+			e.stats.resultHits.Add(1)
+			e.met.ResultCacheHits.Inc()
+			return e.finishQuery(nq, res), nil
+		}
+	}
+
 	res := &Result{Query: nq, Chunks: make([]*chunk.Chunk, len(nums))}
 
 	var plans []*planned  // answerable from cache; leaves pinned
@@ -491,6 +582,7 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 		}
 
 		m0 := e.strat.Maintenance()
+		var rejected int64
 		for i, out := range outs {
 			p := plans[i]
 			res.Chunks[p.idx] = out.data
@@ -498,14 +590,33 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 			if p.plan.Present {
 				continue
 			}
+			rejected += out.rejected
 			for _, ic := range out.inter {
-				e.cache.Insert(ic.key, ic.data, cache.ClassComputed, float64(ic.tuples))
+				// Recycled intermediates enter as computed-class residents
+				// with the Recycled mark: they can never displace the
+				// backend-class hot set, a Peered store never replicates
+				// them to ring owners, and strategies maintain them with
+				// presence-only (O(1)) bookkeeping.
+				if e.cache.InsertRecycled(ic.key, ic.data, ic.benefit) {
+					res.RecycledChunks++
+					e.stats.recycled.Add(1)
+					e.met.RecycledChunks.Inc()
+				}
 			}
 			benefit := float64(out.tuples)
-			e.cache.Insert(cache.Key{GB: nq.GB, Num: int32(p.plan.Num)}, out.data, cache.ClassComputed, benefit)
+			rootKey := cache.Key{GB: nq.GB, Num: int32(p.plan.Num)}
+			e.cache.Insert(rootKey, out.data, cache.ClassComputed, benefit)
 			if !e.opts.disableReinforce {
-				e.cache.Reinforce(p.leaves, benefit)
+				// The root served the query that created it, so it counts as
+				// reused on arrival: reinforcing it alongside the leaves lifts
+				// it out of the promote policy's probationary tier, leaving
+				// only speculative recycled intermediates probationary.
+				e.cache.Reinforce(append(p.leaves, rootKey), benefit)
 			}
+		}
+		if rejected > 0 {
+			e.stats.recycleRejects.Add(rejected)
+			e.met.RecycleRejected.Add(rejected)
 		}
 		m1 := e.strat.Maintenance()
 		// The delta attributes this query's insert maintenance (Figure 10's
@@ -516,7 +627,47 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 		res.Breakdown.Update += m1.Sub(m0).Time
 	}
 
-	// Trim to exact member bounds if the front end asked for them.
+	// Remember the untrimmed, chunk-aligned answer for repeated or contained
+	// rectangles — but only answers that did real work (aggregation or a
+	// backend trip); pure present-chunk hits are already as cheap as the
+	// result cache would make them.
+	if e.rcache != nil && len(nums) > 0 && (res.AggChunks > 0 || res.MissChunks > 0) && !res.BudgetExceeded {
+		e.rememberResult(nq, nums, res)
+	}
+
+	return e.finishQuery(nq, res), nil
+}
+
+// rememberResult registers a finished answer with the semantic result cache
+// and re-verifies, after registration, that every contributing chunk is
+// still resident — an eviction racing the put would otherwise leave a
+// registered entry the listener never saw. The order matters: register
+// first, then check, so a concurrent eviction either fires the listener on
+// the registered entry or is caught by the re-check.
+func (e *Engine) rememberResult(nq Query, nums []int, res *Result) {
+	keys := make([]cache.Key, len(nums))
+	for i, num := range nums {
+		keys[i] = cache.Key{GB: nq.GB, Num: int32(num)}
+	}
+	benefit := float64(res.AggregatedTuples)
+	if benefit == 0 {
+		benefit = float64(res.BackendTuples) * e.opts.backendPenalty
+	}
+	entry := e.rcache.put(nq, append([]*chunk.Chunk(nil), res.Chunks...), keys, benefit)
+	if entry == nil {
+		return
+	}
+	for _, k := range keys {
+		if !e.cache.Contains(k) {
+			e.rcache.drop(entry)
+			return
+		}
+	}
+}
+
+// finishQuery applies member trimming and the per-query accounting shared by
+// the regular path and the result-cache fast path.
+func (e *Engine) finishQuery(nq Query, res *Result) *Result {
 	if nq.MemberRanges != nil {
 		for i, c := range res.Chunks {
 			res.Chunks[i] = e.grid.Slice(c, nq.MemberRanges)
@@ -541,7 +692,7 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 	e.stats.updateNS.Add(int64(res.Breakdown.Update))
 	e.stats.backendNS.Add(int64(res.Breakdown.Backend))
 	e.observe(res)
-	return res, nil
+	return res
 }
 
 // observe publishes one answered query to the live metrics. Every handle is
@@ -623,16 +774,15 @@ func (e *Engine) runPlan(p *strategy.Plan, leafData map[cache.Key]*chunk.Chunk) 
 
 // aggregate executes a plan bottom-up from the snapshotted leaf payloads —
 // pure computation over immutable chunks, touching no shared state.
-// Interior results are collected (bottom-up) into out.inter for insertion
-// under the lock when InsertIntermediates is on.
+// Interior results the recycler admits are collected (bottom-up) into
+// out.inter for insertion under the lock.
 //
 // Accumulators come from the chunk package's pool, and interior results that
-// nothing retains (root==false, intermediates not being inserted) are built
-// into pooled scratch chunks released as soon as the parent roll-up consumes
-// them; the returned pooled flag tells the caller it owns such a release.
-// Chunks that outlive the plan run — the root result, which lands in the
-// Result and the cache, and intermediates under InsertIntermediates — are
-// always built fresh.
+// nothing retains (root==false, recycler declined) are built into pooled
+// scratch chunks released as soon as the parent roll-up consumes them; the
+// returned pooled flag tells the caller it owns such a release. Chunks that
+// outlive the plan run — the root result, which lands in the Result and the
+// cache, and admitted intermediates — are always built fresh.
 func (e *Engine) aggregate(p *strategy.Plan, leafData map[cache.Key]*chunk.Chunk, out *aggOut, root bool) (data *chunk.Chunk, tuples int64, pooled bool, err error) {
 	k := cache.Key{GB: p.GB, Num: int32(p.Num)}
 	if p.Present {
@@ -659,12 +809,16 @@ func (e *Engine) aggregate(p *strategy.Plan, leafData map[cache.Key]*chunk.Chunk
 		}
 		tuples += int64(scanned)
 	}
-	if root || e.opts.insertIntermediates {
+	if root {
+		return cm.Build(p.GB, p.Num), tuples, false, nil
+	}
+	if admit, benefit := e.recycleScore(p.GB, p.Num, tuples, cm.Len()); admit {
 		data = cm.Build(p.GB, p.Num)
-		if !root {
-			out.inter = append(out.inter, computed{key: k, data: data, tuples: tuples})
-		}
+		out.inter = append(out.inter, computed{key: k, data: data, tuples: tuples, benefit: benefit})
 		return data, tuples, false, nil
+	}
+	if e.opts.recycle {
+		out.rejected++
 	}
 	return cm.BuildInto(p.GB, p.Num, chunk.GetScratchChunk()), tuples, true, nil
 }

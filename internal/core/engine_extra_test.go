@@ -125,33 +125,108 @@ func TestEngineConcurrentExecute(t *testing.T) {
 	assertMatchesOracle(t, f, WholeGroupBy(lat.Top()), res)
 }
 
-// TestInsertIntermediates checks that the option caches a plan's interior
-// chunks, making a follow-up mid-level query a direct hit.
-func TestInsertIntermediates(t *testing.T) {
+// TestRecycleBackendFills: a cold whole-extent fetch at the base group-by
+// fully covers every one-step roll-up, so the recycler materializes and
+// admits them from the arriving batch — follow-up queries one level up are
+// complete hits with correct contents.
+func TestRecycleBackendFills(t *testing.T) {
+	f := build(t, "VCMC", cache.NewTwoLevelPromote(), 1<<20,
+		WithRecycling(true), WithRecycleMinBenefit(1e-9))
+	lat := f.grid.Lattice()
+	base := lat.Base()
+
+	res, err := f.engine.Execute(context.Background(), WholeGroupBy(base))
+	if err != nil {
+		t.Fatalf("cold base: %v", err)
+	}
+	if res.RecycledChunks == 0 {
+		t.Fatalf("whole-extent backend fill recycled no roll-ups")
+	}
+
+	for _, ch := range lat.Children(base) {
+		q := WholeGroupBy(ch)
+		cres, err := f.engine.Execute(context.Background(), q)
+		if err != nil {
+			t.Fatalf("child %v: %v", ch, err)
+		}
+		if !cres.CompleteHit {
+			t.Fatalf("child %v not a complete hit after covered backend fill", ch)
+		}
+		assertMatchesOracle(t, f, q, cres)
+	}
+
+	// Without recycling, the same cold fetch admits nothing beyond the base.
+	f2 := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
+	res2, err := f2.engine.Execute(context.Background(), WholeGroupBy(base))
+	if err != nil {
+		t.Fatalf("cold base (off): %v", err)
+	}
+	if res2.RecycledChunks != 0 {
+		t.Fatalf("recycling off but RecycledChunks = %d", res2.RecycledChunks)
+	}
+}
+
+// TestRecycleIntermediates checks that the recycler caches a plan's
+// profitable interior chunks, making a follow-up mid-level query a direct
+// hit — and that a prohibitive threshold recycles nothing.
+func TestRecycleIntermediates(t *testing.T) {
 	cfgFix := build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
 	sz := sizer.NewEstimate(cfgFix.grid, 1000)
-	c, _ := cache.New(1<<20, cache.NewTwoLevel())
-	eng, err := New(cfgFix.grid, c, strategy.NewVCMC(cfgFix.grid, sz), cfgFix.oracle, sz, WithInsertIntermediates(true))
-	if err != nil {
-		t.Fatalf("New: %v", err)
-	}
 	lat := cfgFix.grid.Lattice()
-	if _, err := eng.Execute(context.Background(), WholeGroupBy(lat.Base())); err != nil {
-		t.Fatalf("warm: %v", err)
-	}
-	if _, err := eng.Execute(context.Background(), WholeGroupBy(lat.Top())); err != nil {
-		t.Fatalf("aggregate: %v", err)
-	}
-	// The top plan passed through some mid-level chunk; with intermediates
-	// cached, at least one mid-level group-by must now have resident chunks.
-	found := false
-	for _, k := range c.Keys(nil) {
-		if k.GB != lat.Base() && k.GB != lat.Top() {
-			found = true
-			break
+
+	run := func(t *testing.T, opts ...Option) (*Engine, cache.Store) {
+		t.Helper()
+		c, _ := cache.New(1<<20, cache.NewTwoLevelPromote())
+		eng, err := New(cfgFix.grid, c, strategy.NewVCMC(cfgFix.grid, sz), cfgFix.oracle, sz, opts...)
+		if err != nil {
+			t.Fatalf("New: %v", err)
 		}
+		if _, err := eng.Execute(context.Background(), WholeGroupBy(lat.Base())); err != nil {
+			t.Fatalf("warm: %v", err)
+		}
+		if _, err := eng.Execute(context.Background(), WholeGroupBy(lat.Top())); err != nil {
+			t.Fatalf("aggregate: %v", err)
+		}
+		return eng, c
 	}
-	if !found {
-		t.Fatalf("no intermediate chunks were cached")
+
+	midResident := func(c cache.Store) bool {
+		for _, k := range c.Keys(nil) {
+			if k.GB != lat.Base() && k.GB != lat.Top() {
+				return true
+			}
+		}
+		return false
+	}
+
+	// A tiny threshold admits every interior node of the top-level roll-up.
+	eng, c := run(t, WithRecycling(true), WithRecycleMinBenefit(1e-9))
+	if !midResident(c) {
+		t.Fatalf("no intermediate chunks were recycled")
+	}
+	if got := eng.Stats().Recycled; got == 0 {
+		t.Fatalf("Stats.Recycled = 0, want > 0")
+	}
+
+	// A prohibitive threshold rejects them all and counts the rejections.
+	eng, c = run(t, WithRecycling(true), WithRecycleMinBenefit(1e12))
+	if midResident(c) {
+		t.Fatalf("intermediate chunks cached despite prohibitive threshold")
+	}
+	st := eng.Stats()
+	if st.Recycled != 0 {
+		t.Fatalf("Stats.Recycled = %d, want 0", st.Recycled)
+	}
+	if st.RecycleRejected == 0 {
+		t.Fatalf("Stats.RecycleRejected = 0, want > 0")
+	}
+
+	// Recycling off (the default): no intermediates, no reject accounting.
+	eng, c = run(t)
+	if midResident(c) {
+		t.Fatalf("intermediate chunks cached with recycling off")
+	}
+	if st := eng.Stats(); st.Recycled != 0 || st.RecycleRejected != 0 {
+		t.Fatalf("recycle stats nonzero with recycling off: %+v", st)
 	}
 }

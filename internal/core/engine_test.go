@@ -21,7 +21,7 @@ type fixture struct {
 }
 
 // build wires an engine over the tiny APB preset.
-func build(t testing.TB, stratName string, policy cache.Policy, capacity int64) *fixture {
+func build(t testing.TB, stratName string, policy cache.Policy, capacity int64, opts ...Option) *fixture {
 	t.Helper()
 	cfg := apb.New(apb.ScaleTiny)
 	g, tab, err := cfg.Build(21)
@@ -54,7 +54,7 @@ func build(t testing.TB, stratName string, policy cache.Policy, capacity int64) 
 	if err != nil {
 		t.Fatalf("cache.New: %v", err)
 	}
-	e, err := New(g, c, s, be, sz)
+	e, err := New(g, c, s, be, sz, opts...)
 	if err != nil {
 		t.Fatalf("core.New: %v", err)
 	}

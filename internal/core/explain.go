@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"aggcache/internal/chunk"
 	"aggcache/internal/strategy"
 )
 
@@ -73,9 +74,39 @@ func (e *Engine) writePlan(b *strings.Builder, p *strategy.Plan, depth int) {
 		fmt.Fprintf(b, "%s- chunk %d of %s [cached]\n", indent, p.Num, e.lat.LevelTupleString(p.GB))
 		return
 	}
-	fmt.Fprintf(b, "%s- chunk %d of %s <- aggregate %d chunk(s) of %s\n",
-		indent, p.Num, e.lat.LevelTupleString(p.GB), len(p.Inputs), e.lat.LevelTupleString(p.Via))
+	// Interior nodes (depth > 1: below the plan root, which is always
+	// cached as the query's answer) carry the recycler's verdict.
+	note := ""
+	if depth > 1 {
+		note = e.recycleAnnotation(p)
+	}
+	fmt.Fprintf(b, "%s- chunk %d of %s <- aggregate %d chunk(s) of %s%s\n",
+		indent, p.Num, e.lat.LevelTupleString(p.GB), len(p.Inputs), e.lat.LevelTupleString(p.Via), note)
 	for _, in := range p.Inputs {
 		e.writePlan(b, in, depth+1)
 	}
+}
+
+// recycleAnnotation renders the admission decision the recycler would make
+// for one interior plan node: the recompute cost saved per byte retained
+// (CostEstimate when the strategy offers it, the plan's structural cost
+// otherwise, over the sizer's estimated chunk footprint) against the
+// configured threshold.
+func (e *Engine) recycleAnnotation(p *strategy.Plan) string {
+	if !e.opts.recycle {
+		return " [recycle: off]"
+	}
+	cost := planCost(p)
+	if e.est != nil {
+		if c, ok := e.est.CostEstimate(p.GB, p.Num); ok {
+			cost = c
+		}
+	}
+	bytes := e.sizes.ChunkCells(p.GB, p.Num)*chunk.CellBytes + chunk.OverheadBytes
+	perByte := float64(cost) / float64(bytes)
+	verdict := "admit"
+	if perByte < e.opts.recycleMinBenefit {
+		verdict = "reject"
+	}
+	return fmt.Sprintf(" [recycle: %s, benefit %.3f/B]", verdict, perByte)
 }

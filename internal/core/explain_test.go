@@ -60,6 +60,57 @@ func TestExplainColdAndWarm(t *testing.T) {
 	}
 }
 
+// TestExplainRecycleAnnotation: with recycling on, every interior plan node
+// Explain prints carries the recycler's verdict and its benefit score; with
+// recycling off, the node says so.
+func TestExplainRecycleAnnotation(t *testing.T) {
+	probe := func(t *testing.T, f *fixture) string {
+		t.Helper()
+		lat := f.grid.Lattice()
+		if _, err := f.engine.Execute(context.Background(), WholeGroupBy(lat.Base())); err != nil {
+			t.Fatalf("warm: %v", err)
+		}
+		out, err := f.engine.Explain(WholeGroupBy(lat.Top()))
+		if err != nil {
+			t.Fatalf("Explain: %v", err)
+		}
+		if !strings.Contains(out, "aggregate in cache") {
+			t.Fatalf("explain has no aggregation plan:\n%s", out)
+		}
+		return out
+	}
+
+	// Admit-everything threshold: every interior node annotated as admitted,
+	// with a benefit score.
+	f := build(t, "VCMC", cache.NewTwoLevelPromote(), 1<<20,
+		WithRecycling(true), WithRecycleMinBenefit(1e-9))
+	out := probe(t, f)
+	if !strings.Contains(out, "[recycle: admit, benefit ") {
+		t.Fatalf("no admit annotation on interior nodes:\n%s", out)
+	}
+	if strings.Contains(out, "[recycle: reject") {
+		t.Fatalf("unexpected reject at admit-everything threshold:\n%s", out)
+	}
+
+	// Prohibitive threshold: same plan, all interior nodes rejected.
+	f = build(t, "VCMC", cache.NewTwoLevelPromote(), 1<<20,
+		WithRecycling(true), WithRecycleMinBenefit(1e12))
+	out = probe(t, f)
+	if !strings.Contains(out, "[recycle: reject, benefit ") {
+		t.Fatalf("no reject annotation at prohibitive threshold:\n%s", out)
+	}
+
+	// Recycling off: interior nodes say so instead of carrying a verdict.
+	f = build(t, "VCMC", cache.NewTwoLevel(), 1<<20)
+	out = probe(t, f)
+	if !strings.Contains(out, "[recycle: off]") {
+		t.Fatalf("no recycle-off annotation:\n%s", out)
+	}
+	if strings.Contains(out, "[recycle: admit") || strings.Contains(out, "[recycle: reject") {
+		t.Fatalf("verdict printed with recycling off:\n%s", out)
+	}
+}
+
 // TestExplainPlanCostFallback: ESM plans carry no cost; Explain derives a
 // leaf-count lower bound.
 func TestExplainPlanCostFallback(t *testing.T) {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -37,6 +38,103 @@ func (p *storePeer) Put(ctx context.Context, k cache.Key, data *chunk.Chunk, cl 
 }
 
 func (p *storePeer) Close() error { return nil }
+
+// recordingPeer wraps storePeer and records every replication Put with its
+// class, so tests can assert what the Peered store ships to ring owners.
+type recordingPeer struct {
+	storePeer
+	mu   sync.Mutex
+	puts map[cache.Key]cache.Class
+}
+
+func (p *recordingPeer) Put(ctx context.Context, k cache.Key, data *chunk.Chunk, cl cache.Class, benefit float64) error {
+	p.mu.Lock()
+	p.puts[k] = cl
+	p.mu.Unlock()
+	return p.storePeer.Put(ctx, k, data, cl, benefit)
+}
+
+// TestRecycledIntermediatesPeered: intermediates the recycler admits on a
+// clustered node take computed-class residency in the local tier and are
+// never enqueued for owner replication — only backend-class fills ship.
+func TestRecycledIntermediatesPeered(t *testing.T) {
+	cfg := apb.New(apb.ScaleTiny)
+	g, tab, err := cfg.Build(21)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	be, err := backend.NewEngine(g, tab, backend.LatencyModel{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	sz := sizer.NewEstimate(g, int64(tab.Len()))
+	lat := g.Lattice()
+
+	local, err := cache.New(1<<20, cache.NewTwoLevelPromote())
+	if err != nil {
+		t.Fatalf("cache.New: %v", err)
+	}
+	remote, _ := cache.New(1<<20, cache.NewTwoLevelPromote())
+	peer := &recordingPeer{storePeer: storePeer{st: remote}, puts: make(map[cache.Key]cache.Class)}
+	pc, err := cache.NewPeered(local, cache.PeeredConfig{
+		Self:    "a",
+		Members: []string{"a", "b"},
+		Dial:    func(string) cache.Peer { return peer },
+	})
+	if err != nil {
+		t.Fatalf("NewPeered: %v", err)
+	}
+	t.Cleanup(func() { pc.Close() })
+
+	eng, err := New(g, pc, strategy.NewVCMC(g, sz), be, sz,
+		WithRecycling(true), WithRecycleMinBenefit(1e-9), WithResultCache(32))
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+
+	if _, err := eng.Execute(context.Background(), WholeGroupBy(lat.Base())); err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	res, err := eng.Execute(context.Background(), WholeGroupBy(lat.Top()))
+	if err != nil {
+		t.Fatalf("aggregate: %v", err)
+	}
+	if res.RecycledChunks == 0 {
+		t.Fatalf("no intermediates recycled")
+	}
+	time.Sleep(100 * time.Millisecond) // drain the async replication queue
+
+	// Every recycled (non-base, non-top) resident carries computed class.
+	recycled := map[cache.Key]bool{}
+	local.Range(func(k cache.Key, _ *chunk.Chunk, cl cache.Class, _ float64) {
+		if k.GB == lat.Base() || k.GB == lat.Top() {
+			return
+		}
+		recycled[k] = true
+		if cl != cache.ClassComputed {
+			t.Errorf("recycled chunk %v has class %v, want ClassComputed", k, cl)
+		}
+	})
+	if len(recycled) == 0 {
+		t.Fatalf("no recycled intermediates resident")
+	}
+
+	// Replication shipped backend-class fills only; no recycled key ever
+	// reached the peer.
+	peer.mu.Lock()
+	defer peer.mu.Unlock()
+	if len(peer.puts) == 0 {
+		t.Fatalf("no backend-class replication observed; the check below proves nothing")
+	}
+	for k, cl := range peer.puts {
+		if cl != cache.ClassBackend {
+			t.Errorf("peer received a %v-class put for %v", cl, k)
+		}
+		if recycled[k] {
+			t.Errorf("recycled intermediate %v was replicated to its ring owner", k)
+		}
+	}
+}
 
 // TestEnginePeerFillServesRemoteChunks is the engine-level cluster property:
 // a node whose neighbor already holds the working set answers part of its

@@ -65,10 +65,3 @@ func (e *Engine) Preload(ctx context.Context) (lattice.ID, bool, error) {
 	e.stats.backendTuples.Add(bstats.TuplesScanned)
 	return gb, true, nil
 }
-
-// PreloadContext preloads with a caller-supplied context.
-//
-// Deprecated: Preload is context-first now; call Preload(ctx) directly.
-func (e *Engine) PreloadContext(ctx context.Context) (lattice.ID, bool, error) {
-	return e.Preload(ctx)
-}

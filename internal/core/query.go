@@ -135,6 +135,14 @@ type Result struct {
 	// while the backend circuit breaker was open or half-open — correct and
 	// complete, but served in cache-only degraded mode.
 	Degraded bool
+	// RecycledChunks counts intermediate aggregates this query's plans (or
+	// backend-fill roll-ups) computed that the benefit heuristic admitted to
+	// the cache for reuse by later queries.
+	RecycledChunks int
+	// FromResultCache reports that the whole answer came from the semantic
+	// result cache — no planning, aggregation or backend work ran. Such an
+	// answer is always a CompleteHit.
+	FromResultCache bool
 }
 
 // Cells returns the total number of cells across the result's chunks.

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"aggcache/internal/cache"
+	"aggcache/internal/chunk"
+	"aggcache/internal/lattice"
+)
+
+// recycleScore prices one interior plan node for admission: would keeping
+// this just-computed intermediate save more recompute cost per byte than the
+// threshold? The saved cost is the strategy's O(1) CostEstimate — exactly
+// what the cache would pay to re-derive the node from what stays resident
+// after this query (its inputs are pinned leaves, so they survive it).
+// Strategies without the benefit API fall back to the node's measured
+// subtree scan count, which over-counts only by the sub-aggregations that
+// would themselves be skipped — a conservative-enough proxy.
+//
+// A zero estimate means the chunk is already resident (a concurrent query
+// inserted it between planning and now): re-admitting buys nothing, so the
+// node is rejected and stays on the pooled scratch path.
+//
+// Speculation is one-shot: recycleTry remembers every key the recycler has
+// ever admitted, and a key that was admitted, evicted unpromoted and comes
+// around again is refused — it had its residency window and nothing reused
+// it. Without this, a steady-state workload re-materializes, re-admits and
+// re-evicts the same unprofitable intermediates every pass, and the churn
+// costs strategy maintenance and invalidates result-cache entries wholesale.
+// Intermediates that DO get reused are promoted to the protected ring by the
+// reinforcement path and never come back through here. The ghost set is
+// bounded by reset: losing it merely re-opens one admission window per key.
+func (e *Engine) recycleTry(k cache.Key) bool {
+	e.recycleMu.Lock()
+	defer e.recycleMu.Unlock()
+	if _, tried := e.recycleSeen[k]; tried {
+		return false
+	}
+	if len(e.recycleSeen) >= recycleGhostMax {
+		e.recycleSeen = make(map[cache.Key]struct{}, recycleGhostMax/4)
+	}
+	e.recycleSeen[k] = struct{}{}
+	return true
+}
+
+// recycleGhostMax bounds the one-shot admission ghost set (~3 MB of map at
+// worst) — far above any realistic distinct-intermediate count.
+const recycleGhostMax = 1 << 17
+
+func (e *Engine) recycleScore(gb lattice.ID, num int, tuples int64, cells int) (admit bool, benefit float64) {
+	if !e.opts.recycle {
+		return false, 0
+	}
+	bytes := int64(cells)*chunk.CellBytes + chunk.OverheadBytes
+	cost := tuples
+	if e.est != nil {
+		if c, ok := e.est.CostEstimate(gb, num); ok {
+			cost = c
+		}
+	}
+	if float64(cost) < e.opts.recycleMinBenefit*float64(bytes) {
+		return false, 0
+	}
+	if !e.recycleTry(cache.Key{GB: gb, Num: int32(num)}) {
+		return false, 0
+	}
+	return true, float64(cost)
+}
+
+// listenerTee fans the store's single listener slot out to the strategy and
+// the result cache. Callbacks fire synchronously under a store shard lock;
+// both receivers do in-memory bookkeeping only and never call back into the
+// store, preserving the one-way shard-lock order.
+type listenerTee struct {
+	strat  cache.Listener
+	rcache *resultCache
+}
+
+func (t listenerTee) OnInsert(e *cache.Entry) { t.strat.OnInsert(e) }
+
+func (t listenerTee) OnEvict(e *cache.Entry) {
+	t.strat.OnEvict(e)
+	t.rcache.onEvict(e.Key)
+}
+
+// recycleFills extends the recycler to backend fills: a batch of chunks
+// arriving at group-by gb is an admission candidate for each one-step
+// lattice roll-up it fully covers. For every child (more aggregated)
+// group-by, each distinct child chunk the batch touches is checked for full
+// input coverage within the batch, priced with the same saved-cost-per-byte
+// heuristic — the roll-up's cost is the batch cells scanned, its size the
+// sizer's cell estimate — and, when profitable and not already resident,
+// materialized and inserted as a computed-class chunk. One lattice step
+// only: deeper roll-ups derive more cheaply from the admitted copy if a
+// later query wants them, and chains would multiply work on the miss path.
+func (e *Engine) recycleFills(gb lattice.ID, nums []int, data []*chunk.Chunk, res *Result) {
+	byNum := make(map[int]*chunk.Chunk, len(nums))
+	for i, num := range nums {
+		byNum[num] = data[i]
+	}
+	var inputs []int
+	for _, ch := range e.lat.Children(gb) {
+		seen := make(map[int]struct{})
+		for _, num := range nums {
+			cc := e.grid.ChildChunk(gb, num, ch)
+			if _, dup := seen[cc]; dup {
+				continue
+			}
+			seen[cc] = struct{}{}
+			inputs = e.grid.ParentChunks(ch, cc, gb, inputs[:0])
+			covered := true
+			var cost int64
+			for _, in := range inputs {
+				src, ok := byNum[in]
+				if !ok {
+					covered = false
+					break
+				}
+				cost += int64(src.Cells())
+			}
+			if !covered {
+				continue
+			}
+			k := cache.Key{GB: ch, Num: int32(cc)}
+			if e.cache.Contains(k) {
+				continue
+			}
+			bytes := e.sizes.ChunkCells(ch, cc)*chunk.CellBytes + chunk.OverheadBytes
+			if float64(cost) < e.opts.recycleMinBenefit*float64(bytes) {
+				e.stats.recycleRejects.Add(1)
+				e.met.RecycleRejected.Inc()
+				continue
+			}
+			if !e.recycleTry(k) {
+				continue
+			}
+			cm := e.grid.GetCellMap(ch, cc)
+			rollErr := false
+			for _, in := range inputs {
+				if _, err := e.grid.RollUpInto(cm, ch, cc, byNum[in]); err != nil {
+					rollErr = true
+					break
+				}
+			}
+			if !rollErr && e.cache.InsertRecycled(k, cm.Build(ch, cc), float64(cost)) {
+				res.RecycledChunks++
+				e.stats.recycled.Add(1)
+				e.met.RecycledChunks.Inc()
+			}
+			chunk.PutCellMap(cm)
+		}
+	}
+}

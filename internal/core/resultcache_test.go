@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"aggcache/internal/cache"
+	"aggcache/internal/chunk"
+)
+
+// TestResultCacheExactAndSubsumed: a repeated rectangle is answered from the
+// result cache, and a contained rectangle is answered by subsumption — both
+// byte-for-byte identical to the oracle.
+func TestResultCacheExactAndSubsumed(t *testing.T) {
+	f := build(t, "VCMC", cache.NewTwoLevelPromote(), 1<<20, WithResultCache(32))
+	lat := f.grid.Lattice()
+	base := lat.Base()
+	lv := lat.Level(base)
+	nd := f.grid.Schema().NumDims()
+
+	lo := make([]int32, nd)
+	hi := make([]int32, nd)
+	for d := 0; d < nd; d++ {
+		hi[d] = int32(f.grid.ChunkCount(d, lv[d]))
+	}
+	big := Query{GB: base, Lo: lo, Hi: hi}
+
+	res, err := f.engine.Execute(context.Background(), big)
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	if res.FromResultCache {
+		t.Fatalf("cold query claims a result-cache hit")
+	}
+
+	// Exact repeat.
+	res, err = f.engine.Execute(context.Background(), big)
+	if err != nil {
+		t.Fatalf("repeat: %v", err)
+	}
+	if !res.FromResultCache || !res.CompleteHit {
+		t.Fatalf("repeat not served from result cache: %+v", res)
+	}
+	assertMatchesOracle(t, f, big, res)
+
+	// Contained sub-rectangle: trim the first dimension if it has more than
+	// one chunk, otherwise the query equals big and still must hit.
+	slo := append([]int32(nil), lo...)
+	shi := append([]int32(nil), hi...)
+	for d := 0; d < nd; d++ {
+		if shi[d]-slo[d] > 1 {
+			slo[d]++
+			break
+		}
+	}
+	small := Query{GB: base, Lo: slo, Hi: shi}
+	res, err = f.engine.Execute(context.Background(), small)
+	if err != nil {
+		t.Fatalf("subsumed: %v", err)
+	}
+	if !res.FromResultCache {
+		t.Fatalf("contained query not served from result cache")
+	}
+	assertMatchesOracle(t, f, small, res)
+
+	if got := f.engine.Stats().ResultCacheHits; got != 2 {
+		t.Fatalf("Stats.ResultCacheHits = %d, want 2", got)
+	}
+}
+
+// TestResultCacheMemberRangeTrim: the result cache stores the chunk-aligned
+// answer; member trimming is re-applied per query, so a trimmed repeat
+// matches its own first run.
+func TestResultCacheMemberRangeTrim(t *testing.T) {
+	f := build(t, "VCMC", cache.NewTwoLevelPromote(), 1<<20, WithResultCache(32))
+	lat := f.grid.Lattice()
+	base := lat.Base()
+	lv := lat.Level(base)
+	nd := f.grid.Schema().NumDims()
+
+	ranges := make([]chunk.Range, nd)
+	for d := 0; d < nd; d++ {
+		n := f.grid.Schema().Dim(d).Card(lv[d])
+		ranges[d] = chunk.Range{Lo: 0, Hi: int32((n + 1) / 2)}
+	}
+	q := Query{GB: base, MemberRanges: ranges}
+
+	first, err := f.engine.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	second, err := f.engine.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatalf("repeat: %v", err)
+	}
+	if !second.FromResultCache {
+		t.Fatalf("trimmed repeat not served from result cache")
+	}
+	if first.Cells() != second.Cells() || first.Total() != second.Total() {
+		t.Fatalf("trimmed repeat differs: %d cells %.3f vs %d cells %.3f",
+			first.Cells(), first.Total(), second.Cells(), second.Total())
+	}
+}
+
+// TestResultCacheInvalidation: evicting any contributing chunk drops the
+// entry; the query is re-executed, not served stale.
+func TestResultCacheInvalidation(t *testing.T) {
+	f := build(t, "VCMC", cache.NewTwoLevelPromote(), 1<<20, WithResultCache(32))
+	lat := f.grid.Lattice()
+	q := WholeGroupBy(lat.Base())
+
+	if _, err := f.engine.Execute(context.Background(), q); err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	if f.engine.rcache.snapshot().Entries != 1 {
+		t.Fatalf("entry not registered")
+	}
+
+	// Evict one contributing chunk through the store's admin path.
+	if !f.engine.Cache().Evict(cache.Key{GB: lat.Base(), Num: 0}) {
+		t.Fatalf("admin evict failed")
+	}
+	st := f.engine.rcache.snapshot()
+	if st.Entries != 0 || st.Invalidated != 1 {
+		t.Fatalf("entry not invalidated on chunk eviction: %+v", st)
+	}
+
+	res, err := f.engine.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatalf("re-run: %v", err)
+	}
+	if res.FromResultCache {
+		t.Fatalf("stale entry served after contributing-chunk eviction")
+	}
+	assertMatchesOracle(t, f, q, res)
+}
+
+// TestResultCacheBounds: the entry bound holds under many distinct
+// rectangles, evicting oldest-first.
+func TestResultCacheBounds(t *testing.T) {
+	const maxEntries = 4
+	f := build(t, "VCMC", cache.NewTwoLevelPromote(), 1<<20, WithResultCache(maxEntries))
+	lat := f.grid.Lattice()
+	base := lat.Base()
+	lv := lat.Level(base)
+	n0 := int32(f.grid.ChunkCount(0, lv[0]))
+	nd := f.grid.Schema().NumDims()
+
+	for i := int32(0); i < n0; i++ {
+		lo := make([]int32, nd)
+		hi := make([]int32, nd)
+		lo[0], hi[0] = i, i+1
+		for d := 1; d < nd; d++ {
+			hi[d] = int32(f.grid.ChunkCount(d, lv[d]))
+		}
+		if _, err := f.engine.Execute(context.Background(), Query{GB: base, Lo: lo, Hi: hi}); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	st := f.engine.rcache.snapshot()
+	if st.Entries > maxEntries {
+		t.Fatalf("result cache holds %d entries, bound is %d", st.Entries, maxEntries)
+	}
+	if n0 > maxEntries && st.Evicted == 0 {
+		t.Fatalf("no LRU evictions despite %d distinct rectangles", n0)
+	}
+}

@@ -96,7 +96,7 @@ func TestClusterSoak(t *testing.T) {
 		}
 	})
 	for i := 0; i < n; i++ {
-		store, err := cache.New(1<<18, cache.NewTwoLevel())
+		store, err := cache.New(1<<18, cache.NewTwoLevelPromote())
 		if err != nil {
 			t.Fatalf("cache.New: %v", err)
 		}
@@ -113,7 +113,10 @@ func TestClusterSoak(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewPeered: %v", err)
 		}
-		eng, err := core.New(g, pc, strategy.NewVCMC(g, sz), be, sz)
+		// Recycling, the semantic result cache and promote-on-reuse all run
+		// under the soak's fault injection and the race detector.
+		eng, err := core.New(g, pc, strategy.NewVCMC(g, sz), be, sz,
+			core.WithRecycling(true), core.WithResultCache(64))
 		if err != nil {
 			t.Fatalf("core.New: %v", err)
 		}

@@ -34,6 +34,10 @@ type EngineMetrics struct {
 	BackendUnavailable *Counter
 	DeadlineExceeded   *Counter
 
+	RecycledChunks  *Counter
+	RecycleRejected *Counter
+	ResultCacheHits *Counter
+
 	Lookup    *Histogram
 	Aggregate *Histogram
 	Update    *Histogram
@@ -65,6 +69,10 @@ func NewEngineMetrics(r *Registry) EngineMetrics {
 		DegradedAnswers:    r.Counter("aggcache_engine_degraded_answers_total", "Queries answered from the cache alone while the backend circuit breaker was not closed."),
 		BackendUnavailable: r.Counter("aggcache_engine_backend_unavailable_total", "Queries failed fast with ErrBackendUnavailable (circuit open or retry budget exhausted)."),
 		DeadlineExceeded:   r.Counter("aggcache_engine_deadline_exceeded_total", "Queries that failed because their context deadline expired."),
+
+		RecycledChunks:  r.Counter("aggcache_engine_recycled_chunks_total", "Intermediate aggregates admitted to the cache by the benefit-driven recycler."),
+		RecycleRejected: r.Counter("aggcache_engine_recycle_rejected_total", "Interior plan nodes the recycler priced and declined to cache."),
+		ResultCacheHits: r.Counter("aggcache_engine_result_cache_hits_total", "Queries answered entirely from the semantic result cache (exact or subsumed)."),
 
 		Lookup:    r.Histogram("aggcache_engine_lookup_seconds", "Per-query cache lookup (strategy Find) phase latency."),
 		Aggregate: r.Histogram("aggcache_engine_aggregate_seconds", "Per-query in-cache aggregation phase latency."),

@@ -136,6 +136,35 @@ type Strategy interface {
 	LastVisited() int64
 }
 
+// CostEstimator is the benefit API a strategy may offer on top of Find:
+// the least cost (in tuples scanned, the linear cost model of §5) of
+// computing one chunk from what is currently resident, answered in O(1)
+// without materializing a plan. ok is false when the chunk is not
+// computable from the cache at all; a resident chunk costs 0. The engine's
+// intermediate-recycler uses this to price an interior plan node: the
+// estimate is exactly the re-derivation cost the cache would pay next time
+// if the node is thrown away now. VCMC implements it from its Cost array.
+type CostEstimator interface {
+	CostEstimate(gb lattice.ID, num int) (cost int64, ok bool)
+}
+
+// AsCostEstimator returns the CostEstimator behind s, unwrapping decorators
+// (e.g. Instrumented) via their Unwrap method. It reports false for
+// strategies with no cost model (ESM, VCM, NoAgg).
+func AsCostEstimator(s Strategy) (CostEstimator, bool) {
+	for s != nil {
+		if ce, ok := s.(CostEstimator); ok {
+			return ce, true
+		}
+		u, ok := s.(interface{ Unwrap() Strategy })
+		if !ok {
+			return nil, false
+		}
+		s = u.Unwrap()
+	}
+	return nil, false
+}
+
 // presence tracks which chunks are resident, one bitset per group-by.
 // Strategies keep their own copy (kept current via listener callbacks) so
 // probes never touch the cache's replacement state.

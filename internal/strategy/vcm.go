@@ -65,13 +65,39 @@ func (s *VCM) Find(gb lattice.ID, num int) (*Plan, bool, error) {
 
 func (s *VCM) build(gb lattice.ID, num int, visited *int64) *Plan {
 	*visited++
-	if s.counts[gb][num] == 0 {
-		return nil
-	}
+	// Presence is checked before the count: recycled intermediates are
+	// resident but excluded from count bookkeeping, so a present chunk may
+	// legitimately carry a zero count.
 	if s.present.has(gb, num) {
 		return &Plan{GB: gb, Num: num, Present: true}
 	}
+	if s.counts[gb][num] == 0 {
+		return nil
+	}
+	// Prefer a parent whose input chunks are all resident (recycled
+	// intermediates included — they are excluded from count bookkeeping, so
+	// the count scan below cannot see them): one roll-up step over present
+	// chunks beats re-deriving a deeper path.
 	var nums []int
+	for _, parent := range s.lat.Parents(gb) {
+		nums = s.grid.ParentChunks(gb, num, parent, nums[:0])
+		all := true
+		for _, cn := range nums {
+			if !s.present.has(parent, cn) {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		*visited += int64(len(nums))
+		inputs := make([]*Plan, 0, len(nums))
+		for _, cn := range nums {
+			inputs = append(inputs, &Plan{GB: parent, Num: cn, Present: true})
+		}
+		return &Plan{GB: gb, Num: num, Via: parent, Inputs: inputs}
+	}
 	for _, parent := range s.lat.Parents(gb) {
 		nums = s.grid.ParentChunks(gb, num, parent, nums[:0])
 		ok := true
@@ -100,12 +126,21 @@ func (s *VCM) build(gb lattice.ID, num int, visited *int64) *Plan {
 }
 
 // OnInsert implements cache.Listener: the paper's VCM_InsertUpdateCount.
+// Recycled intermediates get presence-only maintenance — they answer
+// lookups as resident chunks but never enter the count lattice, so their
+// admission (and later eviction) is O(1) instead of a cascade. The counts
+// then describe exactly the non-speculative contents, which keeps the
+// insert/evict duals consistent no matter how recycled entries churn.
 func (s *VCM) OnInsert(e *cache.Entry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	timeMaint(&s.maint, func() {
 		gb, num := e.Key.GB, int(e.Key.Num)
 		s.present.set(gb, num)
+		if e.Recycled {
+			s.maint.bump(1)
+			return
+		}
 		s.inc(gb, num)
 	})
 }
@@ -144,6 +179,10 @@ func (s *VCM) OnEvict(e *cache.Entry) {
 	timeMaint(&s.maint, func() {
 		gb, num := e.Key.GB, int(e.Key.Num)
 		s.present.clear(gb, num)
+		if e.Recycled {
+			s.maint.bump(1)
+			return
+		}
 		s.dec(gb, num)
 	})
 }

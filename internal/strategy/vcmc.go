@@ -35,6 +35,11 @@ type VCMC struct {
 	sizes   sizer.Sizer
 	mu      sync.RWMutex
 	present *presence
+	// silent marks recycled intermediates: resident (in present) but
+	// excluded from count/cost bookkeeping, so the cost field stays a
+	// consistent upper bound that never has to be re-derived when they
+	// churn. recompute must ignore silent presence when assigning cost 0.
+	silent  *presence
 	counts  [][]int32
 	costs   [][]int64
 	best    [][]int16 // index into lat.Parents(gb); -1 none, -2 present
@@ -57,6 +62,7 @@ func NewVCMC(g *chunk.Grid, sizes sizer.Sizer) *VCMC {
 		lat:     lat,
 		sizes:   sizes,
 		present: newPresence(g),
+		silent:  newPresence(g),
 		counts:  make([][]int32, n),
 		costs:   make([][]int64, n),
 		best:    make([][]int16, n),
@@ -121,11 +127,47 @@ func (s *VCMC) Find(gb lattice.ID, num int) (*Plan, bool, error) {
 
 func (s *VCMC) build(gb lattice.ID, num int, visited *int64) *Plan {
 	*visited++
+	// Presence is checked before the count: recycled intermediates are
+	// resident but excluded from count/cost bookkeeping, so a present chunk
+	// may carry a zero count.
+	if s.present.has(gb, num) {
+		return &Plan{GB: gb, Num: num, Present: true}
+	}
 	if s.counts[gb][num] == 0 {
 		return nil
 	}
-	if s.present.has(gb, num) {
-		return &Plan{GB: gb, Num: num, Present: true}
+	// Prefer a parent whose input chunks are all resident — one roll-up step
+	// over present chunks — when that is no worse than the stored least
+	// cost. Recycled intermediates are excluded from the cost lattice, so
+	// the best-parent pointer cannot know about them; this presence scan (a
+	// handful of bit tests) lets plans exploit them anyway. The cost guard
+	// keeps Find's minimum-cost guarantee: without silent residents the
+	// all-present candidate is one of the paths the stored cost already
+	// minimized over, and with them the stored cost is an upper bound the
+	// candidate must beat or match.
+	{
+		var nums []int
+		for _, parent := range s.lat.Parents(gb) {
+			nums = s.grid.ParentChunks(gb, num, parent, nums[:0])
+			all := true
+			cost := int64(0)
+			for _, cn := range nums {
+				if !s.present.has(parent, cn) {
+					all = false
+					break
+				}
+				cost += s.sizes.ChunkCells(parent, cn)
+			}
+			if !all || cost > s.costs[gb][num] {
+				continue
+			}
+			*visited += int64(len(nums))
+			inputs := make([]*Plan, 0, len(nums))
+			for _, cn := range nums {
+				inputs = append(inputs, &Plan{GB: parent, Num: cn, Present: true})
+			}
+			return &Plan{GB: gb, Num: num, Via: parent, Inputs: inputs, Cost: cost}
+		}
 	}
 	bp := s.best[gb][num]
 	if bp < 0 {
@@ -144,26 +186,44 @@ func (s *VCMC) build(gb lattice.ID, num int, visited *int64) *Plan {
 	return &Plan{GB: gb, Num: num, Via: parent, Inputs: inputs, Cost: s.costs[gb][num]}
 }
 
-// OnInsert implements cache.Listener.
+// OnInsert implements cache.Listener. Recycled intermediates get
+// presence-only maintenance: they serve as Present plan nodes (and exact
+// hits) but never enter the cost lattice, so admitting one is O(1) instead
+// of a propagation over every affected descendant. The stored costs then
+// describe the cache without its speculative entries — a consistent upper
+// bound: plans that do route through a recycled chunk still stop at its
+// presence and pay nothing.
 func (s *VCMC) OnInsert(e *cache.Entry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	timeMaint(&s.maint, func() {
 		gb, num := e.Key.GB, int(e.Key.Num)
 		s.present.set(gb, num)
+		if e.Recycled {
+			s.silent.set(gb, num)
+			s.maint.bump(1)
+			return
+		}
 		if s.recompute(gb, num) {
 			s.propagate(gb, num)
 		}
 	})
 }
 
-// OnEvict implements cache.Listener.
+// OnEvict implements cache.Listener: the eviction dual. A recycled entry
+// never touched the cost lattice, so clearing its presence bits is the
+// entire dual.
 func (s *VCMC) OnEvict(e *cache.Entry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	timeMaint(&s.maint, func() {
 		gb, num := e.Key.GB, int(e.Key.Num)
 		s.present.clear(gb, num)
+		if e.Recycled {
+			s.silent.clear(gb, num)
+			s.maint.bump(1)
+			return
+		}
 		if s.recompute(gb, num) {
 			s.propagate(gb, num)
 		}
@@ -211,7 +271,7 @@ func (s *VCMC) recompute(gb lattice.ID, num int) bool {
 	newCount := int32(0)
 	newCost := int64(infCost)
 	newBest := int16(-1)
-	if s.present.has(gb, num) {
+	if s.present.has(gb, num) && !s.silent.has(gb, num) {
 		newCount++
 		newCost = 0
 		newBest = -2
