@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernel bench-shards bench-wire bench-cluster bench-overload bench-recycle soak-shards soak-cluster soak-overload fuzz-wire fuzz-peer fmt lint cover chaos ci FORCE
+.PHONY: build test vet race bench bench-kernel bench-shards bench-wire bench-cluster bench-overload bench-recycle bench-tiered soak-shards soak-cluster soak-overload soak-tiered fuzz-wire fuzz-peer fuzz-codec fmt lint cover chaos ci FORCE
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,25 @@ bench-overload:
 # rate with recycling on >= off and no proximity regression).
 bench-recycle:
 	$(GO) run ./cmd/aggbench -scale medium -exp recycle -queries 200
+
+# bench-tiered measures the tiered store against the flat store at equal
+# hot-tier RAM, plus the kill/restart warm-recovery ratio (writes
+# BENCH_10.json; CI gates tiered hit >= ram hit, recovery >= 80%, qps
+# penalty <= 10%).
+bench-tiered:
+	$(GO) run ./cmd/aggbench -scale small -exp tiered -queries 200
+
+# fuzz-codec smoke-fuzzes the cold-tier/snapshot chunk codec: arbitrary
+# bytes must never panic or over-allocate, and whatever decodes must
+# re-encode canonically.
+fuzz-codec:
+	$(GO) test ./internal/chunk -run XXX -fuzz FuzzChunkCodec -fuzztime 10s
+
+# soak-tiered runs the tiered-store concurrency suite (demote/promote/evict
+# races, byte-accounting and dual-residency invariants) under the race
+# detector.
+soak-tiered:
+	$(GO) test -race -run 'Tiered|Snapshot' ./internal/cache -count=1
 
 # fuzz-wire smoke-fuzzes the frame and chunk-slab codecs: malformed input
 # must never panic or over-allocate.

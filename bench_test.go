@@ -369,7 +369,7 @@ func BenchmarkStrategyInsertEvictChurn(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				num := i % n
 				s.OnInsert(&cache.Entry{Key: cache.Key{GB: base, Num: int32(num)}})
-				s.OnEvict(&cache.Entry{Key: cache.Key{GB: base, Num: int32(num)}})
+				s.OnEvent(cache.Event{Key: cache.Key{GB: base, Num: int32(num)}, Reason: cache.Evicted, Entry: &cache.Entry{Key: cache.Key{GB: base, Num: int32(num)}}})
 			}
 		})
 	}

@@ -24,10 +24,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -60,7 +62,9 @@ func main() {
 		recycleFlag     = flag.Bool("recycle", true, "benefit-driven recycling of intermediate aggregates (admits profitable interior roll-ups; uses the probation+promote replacement rings)")
 		recycleMinFlag  = flag.Float64("recycle-min-benefit", core.DefaultRecycleMinBenefit, "recycler admission threshold in saved recompute cost per byte (0 = default)")
 		resultCacheFlag = flag.Int("result-cache", 256, "semantic result-cache entries above the chunk cache (0 = disabled)")
-		snapFlag        = flag.String("snapshot", "", "cache snapshot file: loaded at startup if present, written on shutdown")
+		coldKBFlag      = flag.Int64("cold-kb", 0, "compressed in-RAM cold tier size in KB: hot-tier victims are demoted (delta/varint-encoded) instead of dropped, and promoted back on hit (0 = disabled)")
+		snapDirFlag     = flag.String("snapshot-dir", "", "snapshot directory: cache.snap inside it is loaded at startup (warm restart) and written on SIGINT/SIGTERM and every -snapshot-interval")
+		snapIntFlag     = flag.Duration("snapshot-interval", 0, "periodic cache snapshot flush interval (0 = flush on shutdown only; needs -snapshot-dir)")
 		opsFlag         = flag.String("ops", "", "ops HTTP listen address serving /metrics, /healthz, /traces and /debug/pprof (empty = disabled)")
 		tracesFlag      = flag.Int("traces", obs.DefaultTraceDepth, "query traces retained for /traces")
 
@@ -183,6 +187,23 @@ func main() {
 		fatal(err)
 	}
 
+	// Tiered storage: hot-tier victims demote into a compressed in-RAM cold
+	// tier and promote back (into the protected ring) on hit. The cluster
+	// tier, when configured below, wraps the tiered store so peer fills land
+	// through the same demotion path.
+	var tc *cache.Tiered
+	if *coldKBFlag > 0 {
+		tc, err = cache.NewTiered(c, *coldKBFlag<<10)
+		if err != nil {
+			fatal(err)
+		}
+		if reg != nil {
+			tc.SetTierMetrics(obs.NewTierMetrics(reg))
+		}
+		c = tc
+		fmt.Printf("aggcached: cold tier enabled, %dKB compressed\n", *coldKBFlag)
+	}
+
 	// Cluster tier: compose the local store with the consistent-hash peer
 	// ring. The engine sees one cache.Store; misses route to the key's ring
 	// owner before the backend (see DESIGN.md §12).
@@ -229,14 +250,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *snapFlag != "" {
-		if f, err := os.Open(*snapFlag); err == nil {
-			n, lerr := eng.LoadCache(f)
-			f.Close()
-			if lerr != nil {
-				fatal(lerr)
-			}
-			fmt.Printf("aggcached: warm restart, %d chunks from %s\n", n, *snapFlag)
+	snapPath := ""
+	if *snapDirFlag != "" {
+		if err := os.MkdirAll(*snapDirFlag, 0o755); err != nil {
+			fatal(err)
+		}
+		snapPath = filepath.Join(*snapDirFlag, "cache.snap")
+		n, lerr := eng.LoadCacheFile(snapPath)
+		switch {
+		case lerr == nil:
+			fmt.Printf("aggcached: warm restart, %d chunks from %s\n", n, snapPath)
+		case errors.Is(lerr, os.ErrNotExist):
+			// First boot: nothing to restore.
+		case errors.Is(lerr, cache.ErrSnapshot) && n > 0:
+			// Torn tail or flipped bit mid-log: a partially warm cache beats
+			// a cold one, so keep the valid prefix and move on.
+			fmt.Fprintf(os.Stderr, "aggcached: partial warm restart, %d chunks from %s (%v)\n", n, snapPath, lerr)
+		default:
+			fatal(lerr)
 		}
 	}
 	if *preloadFlag && c.Len() == 0 {
@@ -315,13 +346,39 @@ func main() {
 		}()
 	}
 
+	// Periodic snapshot flush: every interval the cache is re-snapshotted
+	// atomically (temp + rename), so a later crash restarts warm from the
+	// last flush rather than only from a clean shutdown.
+	flushDone := make(chan struct{})
+	if snapPath != "" && *snapIntFlag > 0 {
+		ticker := time.NewTicker(*snapIntFlag)
+		go func() {
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if _, err := eng.SaveCacheFile(snapPath); err != nil {
+						fmt.Fprintln(os.Stderr, "aggcached: snapshot flush:", err)
+					}
+				case <-flushDone:
+					return
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	close(flushDone)
 	fmt.Println("aggcached: shutting down")
 	st := eng.Stats()
 	fmt.Printf("aggcached: served %d queries, %d complete hits, %d backend trips\n",
 		st.Queries, st.CompleteHits, st.BackendQueries)
+	if ts, ok := eng.TierStats(); ok {
+		fmt.Printf("aggcached: cold tier: %d hits, %d promotes, %d demotes (%d denied), %d/%d bytes holding %d raw\n",
+			ts.ColdHits, ts.Promotes, ts.Demotes, ts.DemoteDenied, ts.ColdUsed, ts.ColdCapacity, ts.ColdRawBytes)
+	}
 	if pc != nil {
 		ps := pc.PeerStats()
 		fmt.Printf("aggcached: cluster: %d peer fills, %d fill misses, %d fill errors, %d puts\n",
@@ -333,18 +390,12 @@ func main() {
 	if pc != nil {
 		pc.Close()
 	}
-	if *snapFlag != "" {
-		f, err := os.Create(*snapFlag)
+	if snapPath != "" {
+		n, err := eng.SaveCacheFile(snapPath)
 		if err != nil {
 			fatal(err)
 		}
-		if err := eng.SaveCache(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("aggcached: cache snapshot written to %s\n", *snapFlag)
+		fmt.Printf("aggcached: cache snapshot written to %s (%d chunks)\n", snapPath, n)
 	}
 }
 

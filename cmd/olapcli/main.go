@@ -46,6 +46,7 @@ func main() {
 		recycleFlag     = flag.Bool("recycle", true, "benefit-driven recycling of intermediate aggregates (admits profitable interior roll-ups; uses the probation+promote replacement rings)")
 		recycleMinFlag  = flag.Float64("recycle-min-benefit", core.DefaultRecycleMinBenefit, "recycler admission threshold in saved recompute cost per byte (0 = default)")
 		resultCacheFlag = flag.Int("result-cache", 256, "semantic result-cache entries above the chunk cache (0 = disabled)")
+		coldKBFlag      = flag.Int64("cold-kb", 0, "compressed in-RAM cold tier size in KB: hot-tier victims demote instead of dropping, and promote back on hit (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -105,6 +106,14 @@ func main() {
 	c, err := cache.New(*cacheKBFlag<<10, pol, copts...)
 	if err != nil {
 		fatal(err)
+	}
+	if *coldKBFlag > 0 {
+		tc, err := cache.NewTiered(c, *coldKBFlag<<10)
+		if err != nil {
+			fatal(err)
+		}
+		c = tc
+		fmt.Printf("olapcli: cold tier enabled, %dKB compressed\n", *coldKBFlag)
 	}
 	// Cluster tier: with -peers, local misses consult the key's ring owner
 	// in the aggcached group before the backend. Self is empty — the shell
@@ -261,6 +270,15 @@ func printStats(eng *core.Engine) {
 	fmt.Printf("  cumulative: %s\n", b.String())
 	fmt.Printf("  cache: %d chunks, %dKB/%dKB\n",
 		eng.Cache().Len(), eng.Cache().Used()>>10, eng.Cache().Capacity()>>10)
+	if ts, ok := eng.TierStats(); ok {
+		ratio := 1.0
+		if ts.ColdUsed > 0 {
+			ratio = float64(ts.ColdRawBytes) / float64(ts.ColdUsed)
+		}
+		fmt.Printf("  cold tier: %d chunks, %dKB/%dKB (%.1fx compressed), hits=%d promotes=%d demotes=%d denied=%d\n",
+			ts.ColdChunks, ts.ColdUsed>>10, ts.ColdCapacity>>10, ratio,
+			ts.ColdHits, ts.Promotes, ts.Demotes, ts.DemoteDenied)
+	}
 }
 
 func fatal(err error) {

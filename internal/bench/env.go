@@ -196,8 +196,11 @@ type SystemSpec struct {
 	Strategy StrategyName
 	Policy   PolicyName
 	Bytes    int64
-	Preload  bool
-	Budget   int64
+	// ColdBytes, when positive, wraps the hot store in a Tiered store with a
+	// compressed in-RAM cold tier of that capacity.
+	ColdBytes int64
+	Preload   bool
+	Budget    int64
 	// Shards selects the cache's stripe count: 0 builds the single-lock
 	// reference store, anything else is passed to cache.WithShards.
 	Shards int
@@ -237,6 +240,16 @@ func (e *Env) NewSystem(spec SystemSpec) (*System, error) {
 	c, err := cache.New(spec.Bytes, pol, copts...)
 	if err != nil {
 		return nil, err
+	}
+	if spec.ColdBytes > 0 {
+		tc, err := cache.NewTiered(c, spec.ColdBytes)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Obs != nil {
+			tc.SetTierMetrics(obs.NewTierMetrics(spec.Obs))
+		}
+		c = tc
 	}
 	be := backend.Backend(e.Backend)
 	if spec.Backend != nil {

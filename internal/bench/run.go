@@ -81,6 +81,7 @@ var experiments = []struct {
 	{"cluster", one(Cluster)},
 	{"overload", one(Overload)},
 	{"recycle", one(Recycle)},
+	{"tiered", one(Tiered)},
 }
 
 // aliases maps alternative ids (artifacts that share a runner) to canonical

@@ -50,11 +50,17 @@ type Entry struct {
 	Class   Class
 	Benefit float64 // recomputation cost in cost units; drives replacement
 	// Recycled marks a speculatively admitted intermediate aggregate
-	// (InsertRecycled). Strategies give such entries lightweight,
+	// (AsRecycled). Strategies give such entries lightweight,
 	// presence-only maintenance: they serve lookups as resident chunks but
 	// stay out of the count/cost bookkeeping, so admitting and evicting
 	// them is O(1) instead of a lattice propagation.
 	Recycled bool
+	// Promoted marks an entry re-entering the hot tier from a colder one
+	// (AsPromoted). The two-level policy admits such entries straight into
+	// its protected ring — a chunk that earned demotion over a drop and was
+	// then asked for again has proven reuse, so it must not re-enter on
+	// probation ("protect on promote").
+	Promoted bool
 
 	clock      float64
 	pins       int
@@ -69,13 +75,69 @@ func (e *Entry) Bytes() int64 { return e.Data.Bytes() }
 // aggregation) and therefore not evictable.
 func (e *Entry) Pinned() bool { return e.pins > 0 }
 
-// Listener observes insertions and evictions; the lookup strategies register
-// one to maintain virtual counts and costs.
+// EventReason classifies a residency transition reported to the Listener.
+// The distinction the reasons exist for: after Demoted and Promoted the
+// chunk is STILL ANSWERABLE from the store (it moved between tiers), so
+// derived state — strategy presence bits, virtual counts, result-cache
+// dependencies — must be kept; after Evicted and Removed it is gone and
+// that state must be torn down.
+type EventReason uint8
+
+const (
+	// Evicted: a policy-driven victim removal; the chunk left the store
+	// entirely (from a tiered store: it fell out of the last tier, or the
+	// cold tier refused the demotion).
+	Evicted EventReason = iota
+	// Demoted: the hot tier's victim was re-admitted to a colder tier in
+	// compressed form. The chunk remains answerable through the store.
+	Demoted
+	// Removed: an administrative removal via Evict; the chunk is gone.
+	Removed
+	// Promoted: a cold-resident chunk was decompressed back into the hot
+	// tier (on access or pin). No OnInsert fires for a promotion — the
+	// chunk never stopped being resident, so insert-side bookkeeping
+	// (counts, costs) must not run again.
+	Promoted
+)
+
+// String implements fmt.Stringer.
+func (r EventReason) String() string {
+	switch r {
+	case Evicted:
+		return "evicted"
+	case Demoted:
+		return "demoted"
+	case Removed:
+		return "removed"
+	case Promoted:
+		return "promoted"
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// Event is one residency transition. Entry is valid only for the duration of
+// the callback (the store owns it); Key is always usable afterwards.
+type Event struct {
+	Key    Key
+	Reason EventReason
+	Entry  *Entry
+}
+
+// Answerable reports whether the chunk can still be served by the store
+// after this event — the predicate result caches and strategies branch on.
+func (ev Event) Answerable() bool { return ev.Reason == Demoted || ev.Reason == Promoted }
+
+// Listener observes insertions and residency events; the lookup strategies
+// register one to maintain virtual counts and costs, and the engine's result
+// cache to invalidate dependent results.
 type Listener interface {
-	// OnInsert is called after the entry becomes resident.
+	// OnInsert is called after a chunk with no prior residency becomes
+	// resident. Tier moves do not fire it — they arrive as OnEvent with
+	// Reason Demoted/Promoted.
 	OnInsert(e *Entry)
-	// OnEvict is called after the entry is removed.
-	OnEvict(e *Entry)
+	// OnEvent is called after a residency transition; see EventReason for
+	// which reasons leave the chunk answerable.
+	OnEvent(ev Event)
 }
 
 // Policy decides replacement order. Implementations own the entries'
@@ -127,7 +189,10 @@ type Cache struct {
 	entries  map[Key]*Entry
 	policy   Policy
 	listener Listener
-	stats    Stats
+	// hook is the tier seam a Tiered wrapper installs; nil for a bare store.
+	// Set before the store serves traffic.
+	hook  tierHook
+	stats Stats
 	// met is the optional live-metrics bundle; its zero value records
 	// nothing. The handles are atomics, so an ops scraper can read them
 	// while writers mutate the cache under c.mu.
@@ -139,6 +204,13 @@ func (c *Cache) SetListener(l Listener) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.listener = l
+}
+
+// setTierHook implements hookable.
+func (c *Cache) setTierHook(h tierHook) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hook = h
 }
 
 // SetMetrics attaches live observability metrics; call it before the cache
@@ -244,25 +316,19 @@ func (c *Cache) Peek(k Key) (*chunk.Chunk, bool) {
 	return e.Data, true
 }
 
-// Insert makes data resident under k with the given class and benefit,
-// evicting per the policy as needed. It reports whether the chunk was
-// admitted. Re-inserting a resident key replaces the payload, re-charges the
-// byte delta (evicting if the cache overflows), refreshes class/benefit and
-// counts as an access; presence is unchanged, so no listener event fires. A
-// chunk larger than the whole cache is not admitted, and an oversized
-// replacement leaves the old entry resident.
-func (c *Cache) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool {
-	return c.insert(k, data, cl, benefit, false)
+// Insert makes data resident under k, evicting per the policy as needed, and
+// reports whether the chunk was admitted. With no options the chunk enters as
+// a backend-class resident with zero benefit; see InsertOption for the
+// residency variants. Re-inserting a resident key replaces the payload,
+// re-charges the byte delta (evicting if the cache overflows), refreshes
+// class/benefit and counts as an access; presence is unchanged, so no
+// listener event fires. A chunk larger than the whole cache is not admitted,
+// and an oversized replacement leaves the old entry resident.
+func (c *Cache) Insert(k Key, data *chunk.Chunk, opts ...InsertOption) bool {
+	return c.insert(k, data, applyInsertOptions(opts))
 }
 
-// InsertRecycled admits a speculative intermediate aggregate: a
-// computed-class resident whose Entry carries the Recycled mark, telling
-// listener strategies to maintain presence only (no count/cost propagation).
-func (c *Cache) InsertRecycled(k Key, data *chunk.Chunk, benefit float64) bool {
-	return c.insert(k, data, ClassComputed, benefit, true)
-}
-
-func (c *Cache) insert(k Key, data *chunk.Chunk, cl Class, benefit float64, recycled bool) bool {
+func (c *Cache) insert(k Key, data *chunk.Chunk, spec insertSpec) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	need := data.Bytes()
@@ -276,7 +342,7 @@ func (c *Cache) insert(k Key, data *chunk.Chunk, cl Class, benefit float64, recy
 			// Shield the entry being replaced from the victim scan.
 			e.pins++
 			for c.used+delta > c.capacity {
-				v := c.policy.NextVictim(cl)
+				v := c.policy.NextVictim(spec.class)
 				if v == nil {
 					e.pins--
 					c.stats.Denied++
@@ -289,24 +355,32 @@ func (c *Cache) insert(k Key, data *chunk.Chunk, cl Class, benefit float64, recy
 		}
 		c.used += need - e.Bytes()
 		e.Data = data
-		if e.Class != cl {
+		if e.Class != spec.class {
 			// Migrate to the ring matching the new class.
 			c.policy.Removed(e)
-			e.Class = cl
+			e.Class = spec.class
 			c.policy.Added(e)
 		}
-		e.Benefit = benefit
+		e.Benefit = spec.benefit
 		// e.Recycled keeps its insert-time value: replacement fires no
 		// listener events, and the strategy's eviction dual must match
 		// whatever maintenance OnInsert performed for this residency.
-		_ = recycled
 		c.policy.Accessed(e)
 		c.met.Replacements.Inc()
 		c.syncGauges()
 		return true
 	}
+	if c.hook != nil {
+		// A cold-resident key makes this insert a promotion: the chunk never
+		// stopped being answerable, so its preserved residency attributes
+		// override the caller's and no OnInsert fires. Decided here, under
+		// the lock that serializes this key's transitions.
+		if ps, wasCold := c.hook.peekCold(k); wasCold {
+			spec = ps
+		}
+	}
 	for c.used+need > c.capacity {
-		v := c.policy.NextVictim(cl)
+		v := c.policy.NextVictim(spec.class)
 		if v == nil {
 			c.stats.Denied++
 			c.met.Denied.Inc()
@@ -314,7 +388,10 @@ func (c *Cache) insert(k Key, data *chunk.Chunk, cl Class, benefit float64, recy
 		}
 		c.remove(v, true)
 	}
-	e := &Entry{Key: k, Data: data, Class: cl, Benefit: benefit, Recycled: recycled}
+	if spec.promoted && c.hook != nil {
+		c.hook.claimCold(k)
+	}
+	e := &Entry{Key: k, Data: data, Class: spec.class, Benefit: spec.benefit, Recycled: spec.recycled, Promoted: spec.promoted}
 	c.entries[k] = e
 	c.used += need
 	c.stats.Inserts++
@@ -322,7 +399,11 @@ func (c *Cache) insert(k Key, data *chunk.Chunk, cl Class, benefit float64, recy
 	c.policy.Added(e)
 	c.syncGauges()
 	if c.listener != nil {
-		c.listener.OnInsert(e)
+		if spec.promoted {
+			c.listener.OnEvent(Event{Key: k, Reason: Promoted, Entry: e})
+		} else {
+			c.listener.OnInsert(e)
+		}
 	}
 	return true
 }
@@ -356,8 +437,15 @@ func (c *Cache) remove(e *Entry, policyEvict bool) {
 	}
 	c.syncGauges()
 	c.policy.Removed(e)
+	reason := Removed
+	if policyEvict {
+		reason = Evicted
+		if c.hook != nil && c.hook.demote(e) {
+			reason = Demoted
+		}
+	}
 	if c.listener != nil {
-		c.listener.OnEvict(e)
+		c.listener.OnEvent(Event{Key: e.Key, Reason: reason, Entry: e})
 	}
 }
 
@@ -410,12 +498,13 @@ func (c *Cache) Keys(dst []Key) []Key {
 }
 
 // Range calls fn for every resident entry (order unspecified) with the
-// entry's payload, class and benefit; used for snapshots and diagnostics.
-// fn runs under the cache lock and must not call back into the cache.
-func (c *Cache) Range(fn func(k Key, data *chunk.Chunk, cl Class, benefit float64)) {
+// entry's payload, class, benefit and recycled mark; used for snapshots and
+// diagnostics. fn runs under the cache lock and must not call back into the
+// cache.
+func (c *Cache) Range(fn func(k Key, data *chunk.Chunk, cl Class, benefit float64, recycled bool)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for k, e := range c.entries {
-		fn(k, e.Data, e.Class, e.Benefit)
+		fn(k, e.Data, e.Class, e.Benefit, e.Recycled)
 	}
 }

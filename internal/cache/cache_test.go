@@ -22,17 +22,24 @@ func key(num int) Key { return Key{GB: 0, Num: int32(num)} }
 
 type recordingListener struct {
 	inserted, evicted []Key
+	events            []Event
 }
 
 func (r *recordingListener) OnInsert(e *Entry) { r.inserted = append(r.inserted, e.Key) }
-func (r *recordingListener) OnEvict(e *Entry)  { r.evicted = append(r.evicted, e.Key) }
+
+func (r *recordingListener) OnEvent(ev Event) {
+	r.events = append(r.events, ev)
+	if !ev.Answerable() {
+		r.evicted = append(r.evicted, ev.Key)
+	}
+}
 
 func TestCacheBasics(t *testing.T) {
 	c, err := New(10_000, NewBenefitClock())
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	if !c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 100) {
+	if !c.Insert(key(1), mkChunk(0, 1, 10), AsBackend(100)) {
 		t.Fatalf("insert denied")
 	}
 	if !c.Contains(key(1)) {
@@ -80,12 +87,12 @@ func TestCacheEvictsWhenFull(t *testing.T) {
 	c, _ := New(700, NewBenefitClock())
 	l := &recordingListener{}
 	c.SetListener(l)
-	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1)
-	c.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 1)
+	c.Insert(key(1), mkChunk(0, 1, 10), AsBackend(1))
+	c.Insert(key(2), mkChunk(0, 2, 10), AsBackend(1))
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", c.Len())
 	}
-	if !c.Insert(key(3), mkChunk(0, 3, 10), ClassBackend, 1) {
+	if !c.Insert(key(3), mkChunk(0, 3, 10), AsBackend(1)) {
 		t.Fatalf("third insert denied")
 	}
 	if c.Len() != 2 {
@@ -101,7 +108,7 @@ func TestCacheEvictsWhenFull(t *testing.T) {
 
 func TestCacheOversizedChunkDenied(t *testing.T) {
 	c, _ := New(100, NewBenefitClock())
-	if c.Insert(key(1), mkChunk(0, 1, 100), ClassBackend, 1) {
+	if c.Insert(key(1), mkChunk(0, 1, 100), AsBackend(1)) {
 		t.Fatalf("oversized chunk admitted")
 	}
 	if c.Stats().Denied != 1 {
@@ -111,8 +118,8 @@ func TestCacheOversizedChunkDenied(t *testing.T) {
 
 func TestCacheReinsertRefreshes(t *testing.T) {
 	c, _ := New(10_000, NewBenefitClock())
-	c.Insert(key(1), mkChunk(0, 1, 10), ClassComputed, 1)
-	if !c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 50) {
+	c.Insert(key(1), mkChunk(0, 1, 10), AsComputed(1))
+	if !c.Insert(key(1), mkChunk(0, 1, 10), AsBackend(50)) {
 		t.Fatalf("reinsert denied")
 	}
 	if c.Len() != 1 || c.Stats().Inserts != 1 {
@@ -122,16 +129,16 @@ func TestCacheReinsertRefreshes(t *testing.T) {
 
 func TestCachePinPreventsEviction(t *testing.T) {
 	c, _ := New(700, NewBenefitClock())
-	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1)
-	c.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 1)
+	c.Insert(key(1), mkChunk(0, 1, 10), AsBackend(1))
+	c.Insert(key(2), mkChunk(0, 2, 10), AsBackend(1))
 	if !c.Pin(key(1)) || !c.Pin(key(2)) {
 		t.Fatalf("Pin failed")
 	}
-	if c.Insert(key(3), mkChunk(0, 3, 10), ClassBackend, 1) {
+	if c.Insert(key(3), mkChunk(0, 3, 10), AsBackend(1)) {
 		t.Fatalf("insert admitted with everything pinned")
 	}
 	c.Unpin(key(1))
-	if !c.Insert(key(3), mkChunk(0, 3, 10), ClassBackend, 1) {
+	if !c.Insert(key(3), mkChunk(0, 3, 10), AsBackend(1)) {
 		t.Fatalf("insert denied after unpin")
 	}
 	if !c.Contains(key(2)) {
@@ -148,9 +155,9 @@ func TestCachePinPreventsEviction(t *testing.T) {
 
 func TestBenefitClockPrefersLowBenefit(t *testing.T) {
 	c, _ := New(700, NewBenefitClock())
-	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1e6) // expensive
-	c.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 1)   // cheap
-	c.Insert(key(3), mkChunk(0, 3, 10), ClassBackend, 1e6)
+	c.Insert(key(1), mkChunk(0, 1, 10), AsBackend(1e6)) // expensive
+	c.Insert(key(2), mkChunk(0, 2, 10), AsBackend(1))   // cheap
+	c.Insert(key(3), mkChunk(0, 3, 10), AsBackend(1e6))
 	if !c.Contains(key(1)) || !c.Contains(key(3)) {
 		t.Fatalf("high-benefit chunks evicted before low-benefit one")
 	}
@@ -162,10 +169,10 @@ func TestBenefitClockPrefersLowBenefit(t *testing.T) {
 func TestTwoLevelAdmission(t *testing.T) {
 	// Room for 2 chunks.
 	c, _ := New(700, NewTwoLevel())
-	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 10)
-	c.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 10)
+	c.Insert(key(1), mkChunk(0, 1, 10), AsBackend(10))
+	c.Insert(key(2), mkChunk(0, 2, 10), AsBackend(10))
 	// A computed chunk may not displace backend chunks.
-	if c.Insert(key(3), mkChunk(0, 3, 10), ClassComputed, 1e9) {
+	if c.Insert(key(3), mkChunk(0, 3, 10), AsComputed(1e9)) {
 		t.Fatalf("computed chunk displaced backend chunks")
 	}
 	if c.Stats().Denied != 1 {
@@ -173,9 +180,9 @@ func TestTwoLevelAdmission(t *testing.T) {
 	}
 	// A backend chunk can displace a computed chunk.
 	c2, _ := New(700, NewTwoLevel())
-	c2.Insert(key(1), mkChunk(0, 1, 10), ClassComputed, 1e9)
-	c2.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 1)
-	if !c2.Insert(key(3), mkChunk(0, 3, 10), ClassBackend, 1) {
+	c2.Insert(key(1), mkChunk(0, 1, 10), AsComputed(1e9))
+	c2.Insert(key(2), mkChunk(0, 2, 10), AsBackend(1))
+	if !c2.Insert(key(3), mkChunk(0, 3, 10), AsBackend(1)) {
 		t.Fatalf("backend insert denied")
 	}
 	if c2.Contains(key(1)) {
@@ -188,9 +195,9 @@ func TestTwoLevelAdmission(t *testing.T) {
 
 func TestTwoLevelBackendEvictsBackendWhenNoComputed(t *testing.T) {
 	c, _ := New(700, NewTwoLevel())
-	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1)
-	c.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 1)
-	if !c.Insert(key(3), mkChunk(0, 3, 10), ClassBackend, 1) {
+	c.Insert(key(1), mkChunk(0, 1, 10), AsBackend(1))
+	c.Insert(key(2), mkChunk(0, 2, 10), AsBackend(1))
+	if !c.Insert(key(3), mkChunk(0, 3, 10), AsBackend(1)) {
 		t.Fatalf("backend insert denied with only backend chunks resident")
 	}
 	if c.Len() != 2 {
@@ -200,11 +207,11 @@ func TestTwoLevelBackendEvictsBackendWhenNoComputed(t *testing.T) {
 
 func TestTwoLevelReinforceKeepsGroup(t *testing.T) {
 	c, _ := New(700, NewTwoLevel())
-	c.Insert(key(1), mkChunk(0, 1, 10), ClassComputed, 1)
-	c.Insert(key(2), mkChunk(0, 2, 10), ClassComputed, 1)
+	c.Insert(key(1), mkChunk(0, 1, 10), AsComputed(1))
+	c.Insert(key(2), mkChunk(0, 2, 10), AsComputed(1))
 	// Reinforce chunk 1 heavily: it was used to compute an aggregate.
 	c.Reinforce([]Key{key(1), key(99)}, 1e9) // missing keys are ignored
-	if !c.Insert(key(3), mkChunk(0, 3, 10), ClassComputed, 1) {
+	if !c.Insert(key(3), mkChunk(0, 3, 10), AsComputed(1)) {
 		t.Fatalf("insert denied")
 	}
 	if !c.Contains(key(1)) {
@@ -221,15 +228,15 @@ func TestTwoLevelReinforceKeepsGroup(t *testing.T) {
 // while its Class keeps reporting computed provenance.
 func TestTwoLevelPromoteOnReuse(t *testing.T) {
 	c, _ := New(700, NewTwoLevelPromote())
-	c.Insert(key(1), mkChunk(0, 1, 10), ClassComputed, 1)
-	c.Insert(key(2), mkChunk(0, 2, 10), ClassComputed, 1)
+	c.Insert(key(1), mkChunk(0, 1, 10), AsComputed(1))
+	c.Insert(key(2), mkChunk(0, 2, 10), AsComputed(1))
 	c.Reinforce([]Key{key(1)}, 1) // first reuse: promoted
 
 	// Sustained computed-class pressure. Without promotion key 1's clock is
 	// capped at maxClock, so this many evicting inserts would sweep it out;
 	// promoted, it is invisible to computed-class victim scans.
 	for i := 0; i < 3*maxClock; i++ {
-		c.Insert(key(10+i), mkChunk(0, 10+i, 10), ClassComputed, 1e9)
+		c.Insert(key(10+i), mkChunk(0, 10+i, 10), AsComputed(1e9))
 	}
 	if !c.Contains(key(1)) {
 		t.Fatalf("promoted entry displaced by computed-class pressure")
@@ -238,7 +245,7 @@ func TestTwoLevelPromoteOnReuse(t *testing.T) {
 	// Provenance survives the ring change: the entry still reports
 	// ClassComputed (so a Peered store would still never replicate it).
 	cl := ClassBackend
-	c.Range(func(k Key, _ *chunk.Chunk, class Class, _ float64) {
+	c.Range(func(k Key, _ *chunk.Chunk, class Class, _ float64, _ bool) {
 		if k == key(1) {
 			cl = class
 		}
@@ -250,11 +257,11 @@ func TestTwoLevelPromoteOnReuse(t *testing.T) {
 	// The plain policy must sweep key 1 under the same pressure — promotion
 	// is what protected it above.
 	p, _ := New(700, NewTwoLevel())
-	p.Insert(key(1), mkChunk(0, 1, 10), ClassComputed, 1)
-	p.Insert(key(2), mkChunk(0, 2, 10), ClassComputed, 1)
+	p.Insert(key(1), mkChunk(0, 1, 10), AsComputed(1))
+	p.Insert(key(2), mkChunk(0, 2, 10), AsComputed(1))
 	p.Reinforce([]Key{key(1)}, 1)
 	for i := 0; i < 3*maxClock; i++ {
-		p.Insert(key(10+i), mkChunk(0, 10+i, 10), ClassComputed, 1e9)
+		p.Insert(key(10+i), mkChunk(0, 10+i, 10), AsComputed(1e9))
 	}
 	if p.Contains(key(1)) {
 		t.Fatalf("plain two-level kept the entry; promote test proves nothing")
@@ -305,8 +312,11 @@ func TestCacheInvariantsProperty(t *testing.T) {
 			case 0, 1, 2:
 				num := rng.Intn(30)
 				n := 1 + rng.Intn(20)
-				cl := Class(rng.Intn(2))
-				c.Insert(key(num), mkChunk(0, num, n), cl, float64(rng.Intn(1000)))
+				opt := AsBackend
+				if rng.Intn(2) == 1 {
+					opt = AsComputed
+				}
+				c.Insert(key(num), mkChunk(0, num, n), opt(float64(rng.Intn(1000))))
 			case 3:
 				num := rng.Intn(30)
 				if c.Pin(key(num)) {
@@ -327,7 +337,7 @@ func TestCacheInvariantsProperty(t *testing.T) {
 				return false
 			}
 			var sum int64
-			c.Range(func(_ Key, data *chunk.Chunk, _ Class, _ float64) {
+			c.Range(func(_ Key, data *chunk.Chunk, _ Class, _ float64, _ bool) {
 				sum += data.Bytes()
 			})
 			if sum != c.Used() || len(resident) != c.Len() {
@@ -355,14 +365,19 @@ func TestCacheInvariantsProperty(t *testing.T) {
 type trackListener struct{ resident map[Key]int64 }
 
 func (l *trackListener) OnInsert(e *Entry) { l.resident[e.Key] = e.Bytes() }
-func (l *trackListener) OnEvict(e *Entry)  { delete(l.resident, e.Key) }
+
+func (l *trackListener) OnEvent(ev Event) {
+	if !ev.Answerable() {
+		delete(l.resident, ev.Key)
+	}
+}
 
 // Regression: re-inserting a resident key must replace the stale payload and
 // re-charge the byte accounting for the delta.
 func TestCacheReplacePayload(t *testing.T) {
 	c, _ := New(10_000, NewBenefitClock())
-	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1)
-	if !c.Insert(key(1), mkChunk(0, 1, 20), ClassBackend, 2) {
+	c.Insert(key(1), mkChunk(0, 1, 10), AsBackend(1))
+	if !c.Insert(key(1), mkChunk(0, 1, 20), AsBackend(2)) {
 		t.Fatalf("replacement insert denied")
 	}
 	if d, ok := c.Peek(key(1)); !ok || d.Cells() != 20 {
@@ -372,7 +387,7 @@ func TestCacheReplacePayload(t *testing.T) {
 		t.Fatalf("Used = %d after growth, want %d", c.Used(), want)
 	}
 	// Shrinking releases bytes.
-	if !c.Insert(key(1), mkChunk(0, 1, 5), ClassBackend, 2) {
+	if !c.Insert(key(1), mkChunk(0, 1, 5), AsBackend(2)) {
 		t.Fatalf("shrinking insert denied")
 	}
 	if want := mkChunk(0, 1, 5).Bytes(); c.Used() != want {
@@ -387,9 +402,9 @@ func TestCacheReplacePayload(t *testing.T) {
 // never the entry being replaced.
 func TestCacheReplaceEvictsOnGrowth(t *testing.T) {
 	c, _ := New(700, NewBenefitClock())
-	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1)
-	c.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 1)
-	if !c.Insert(key(1), mkChunk(0, 1, 20), ClassBackend, 1) {
+	c.Insert(key(1), mkChunk(0, 1, 10), AsBackend(1))
+	c.Insert(key(2), mkChunk(0, 2, 10), AsBackend(1))
+	if !c.Insert(key(1), mkChunk(0, 1, 20), AsBackend(1)) {
 		t.Fatalf("growing replacement denied")
 	}
 	if !c.Contains(key(1)) || c.Contains(key(2)) {
@@ -409,8 +424,8 @@ func TestCacheReplaceEvictsOnGrowth(t *testing.T) {
 // Regression: an oversized replacement is denied and the old entry survives.
 func TestCacheReplaceOversizedKeepsOld(t *testing.T) {
 	c, _ := New(700, NewBenefitClock())
-	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1)
-	if c.Insert(key(1), mkChunk(0, 1, 30), ClassBackend, 1) {
+	c.Insert(key(1), mkChunk(0, 1, 10), AsBackend(1))
+	if c.Insert(key(1), mkChunk(0, 1, 30), AsBackend(1)) {
 		t.Fatalf("oversized replacement admitted")
 	}
 	if d, ok := c.Peek(key(1)); !ok || d.Cells() != 10 {
@@ -429,15 +444,15 @@ func TestCacheReplaceOversizedKeepsOld(t *testing.T) {
 // displace what is now a backend chunk.
 func TestCacheReplaceClassMigratesRing(t *testing.T) {
 	c, _ := New(700, NewTwoLevel())
-	c.Insert(key(1), mkChunk(0, 1, 10), ClassComputed, 1)
-	c.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 1)
+	c.Insert(key(1), mkChunk(0, 1, 10), AsComputed(1))
+	c.Insert(key(2), mkChunk(0, 2, 10), AsBackend(1))
 	// Promote key(1) to backend class via reinsert.
-	if !c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1) {
+	if !c.Insert(key(1), mkChunk(0, 1, 10), AsBackend(1)) {
 		t.Fatalf("promoting reinsert denied")
 	}
 	// Both residents are now backend chunks, so a computed insert that needs
 	// a victim must be denied outright.
-	if c.Insert(key(3), mkChunk(0, 3, 10), ClassComputed, 1e9) {
+	if c.Insert(key(3), mkChunk(0, 3, 10), AsComputed(1e9)) {
 		t.Fatalf("computed chunk displaced a promoted backend chunk")
 	}
 	if !c.Contains(key(1)) || !c.Contains(key(2)) {
@@ -451,7 +466,7 @@ func TestEvictCountsRemovalNotEviction(t *testing.T) {
 	c, _ := New(10_000, NewBenefitClock())
 	l := &recordingListener{}
 	c.SetListener(l)
-	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1)
+	c.Insert(key(1), mkChunk(0, 1, 10), AsBackend(1))
 	if !c.Evict(key(1)) {
 		t.Fatalf("Evict failed")
 	}
@@ -467,8 +482,8 @@ func TestEvictCountsRemovalNotEviction(t *testing.T) {
 
 func TestKeysAndClassString(t *testing.T) {
 	c, _ := New(10_000, NewBenefitClock())
-	c.Insert(key(1), mkChunk(0, 1, 1), ClassBackend, 1)
-	c.Insert(key(2), mkChunk(0, 2, 1), ClassComputed, 1)
+	c.Insert(key(1), mkChunk(0, 1, 1), AsBackend(1))
+	c.Insert(key(2), mkChunk(0, 2, 1), AsComputed(1))
 	ks := c.Keys(nil)
 	if len(ks) != 2 {
 		t.Fatalf("Keys = %v", ks)

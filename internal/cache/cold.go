@@ -1,0 +1,222 @@
+package cache
+
+import (
+	"sync"
+
+	"aggcache/internal/chunk"
+)
+
+// coldEntryOverhead is the fixed footprint charged per cold-tier entry on
+// top of its encoded payload: map slot, struct, list links.
+const coldEntryOverhead = 64
+
+// coldEntry is one compressed resident of the cold tier. The residency
+// attributes (class, benefit, recycled) are preserved verbatim so a later
+// promotion restores the chunk's exact pre-demotion standing.
+type coldEntry struct {
+	key      Key
+	enc      []byte // codec-encoded cells (chunk.AppendPayload)
+	rawBytes int64  // uncompressed footprint, for the compression-ratio gauge
+	class    Class
+	benefit  float64
+	recycled bool
+
+	newer, older *coldEntry // intrusive LRU list
+}
+
+// bytes returns the entry's charged cold-tier footprint.
+func (e *coldEntry) bytes() int64 { return int64(len(e.enc)) + coldEntryOverhead }
+
+// coldTier is the compressed in-RAM second tier: a byte-bounded map of
+// codec-encoded payloads in LRU order (recency = demotion or cold-hit time).
+// It is deliberately not a Store — it holds opaque compressed residents with
+// no pins, no policy and no listener; the Tiered wrapper owns all event
+// plumbing. All methods synchronize on mu; none call out while holding it,
+// so a caller may hold a hot-shard lock (the demotion path does).
+type coldTier struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	raw      int64 // sum of rawBytes over residents
+	entries  map[Key]*coldEntry
+	newest   *coldEntry
+	oldest   *coldEntry
+	stats    TierStats
+}
+
+func newColdTier(capacity int64) *coldTier {
+	return &coldTier{capacity: capacity, entries: make(map[Key]*coldEntry)}
+}
+
+// unlink removes e from the LRU list; caller holds mu.
+func (t *coldTier) unlink(e *coldEntry) {
+	if e.newer != nil {
+		e.newer.older = e.older
+	} else {
+		t.newest = e.older
+	}
+	if e.older != nil {
+		e.older.newer = e.newer
+	} else {
+		t.oldest = e.newer
+	}
+	e.newer, e.older = nil, nil
+}
+
+// pushNewest links e at the head of the LRU list; caller holds mu.
+func (t *coldTier) pushNewest(e *coldEntry) {
+	e.older = t.newest
+	e.newer = nil
+	if t.newest != nil {
+		t.newest.newer = e
+	}
+	t.newest = e
+	if t.oldest == nil {
+		t.oldest = e
+	}
+}
+
+// dropLocked removes e entirely; caller holds mu.
+func (t *coldTier) dropLocked(e *coldEntry) {
+	t.unlink(e)
+	delete(t.entries, e.key)
+	t.used -= e.bytes()
+	t.raw -= e.rawBytes
+}
+
+// add admits a demoted chunk, evicting LRU residents until it fits. It
+// returns the entries evicted to make room and whether the chunk was
+// admitted (false when it cannot fit even in an empty tier, or the tier is
+// disabled). A key already resident is replaced in place.
+func (t *coldTier) add(k Key, data *chunk.Chunk, cl Class, benefit float64, recycled bool) (evicted []*coldEntry, ok bool) {
+	if t == nil || t.capacity <= 0 {
+		return nil, false
+	}
+	enc := chunk.AppendPayload(make([]byte, 0, chunk.EncodedSize(data)), data)
+	e := &coldEntry{key: k, enc: enc, rawBytes: data.Bytes(), class: cl, benefit: benefit, recycled: recycled}
+	need := e.bytes()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if need > t.capacity {
+		t.stats.DemoteDenied++
+		return nil, false
+	}
+	if old, exists := t.entries[k]; exists {
+		t.dropLocked(old)
+	}
+	for t.used+need > t.capacity {
+		v := t.oldest
+		t.dropLocked(v)
+		t.stats.ColdEvicts++
+		evicted = append(evicted, v)
+	}
+	t.entries[k] = e
+	t.pushNewest(e)
+	t.used += need
+	t.raw += e.rawBytes
+	t.stats.Demotes++
+	return evicted, true
+}
+
+// peek returns the entry for k without removing it or touching recency. The
+// returned entry's payload and attributes are immutable after add, so the
+// caller may read them outside the lock; only the Tiered hook (under the hot
+// shard lock) removes entries, so a promotion's peek-then-claim is not a
+// lost-update hazard.
+func (t *coldTier) peek(k Key) (*coldEntry, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[k]
+	return e, ok
+}
+
+// hit and miss record cold-tier lookup outcomes.
+func (t *coldTier) hit() {
+	t.mu.Lock()
+	t.stats.ColdHits++
+	t.mu.Unlock()
+}
+
+func (t *coldTier) miss() {
+	t.mu.Lock()
+	t.stats.ColdMisses++
+	t.mu.Unlock()
+}
+
+// remove drops k without eviction accounting (administrative removal or a
+// hot re-insert superseding a stale cold copy).
+func (t *coldTier) remove(k Key) (*coldEntry, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[k]
+	if !ok {
+		return nil, false
+	}
+	t.dropLocked(e)
+	return e, true
+}
+
+// contains reports cold residence without touching recency.
+func (t *coldTier) contains(k Key) bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.entries[k]
+	return ok
+}
+
+// snapshot returns a copy of every resident entry (order unspecified); the
+// encoded payloads are shared, not copied — they are immutable once added.
+func (t *coldTier) snapshot() []*coldEntry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*coldEntry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, e)
+	}
+	return out
+}
+
+func (t *coldTier) len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+func (t *coldTier) usedBytes() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.used
+}
+
+// tierStats snapshots the activity counters plus occupancy gauges.
+func (t *coldTier) tierStats() TierStats {
+	if t == nil {
+		return TierStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.stats
+	s.ColdCapacity = t.capacity
+	s.ColdUsed = t.used
+	s.ColdRawBytes = t.raw
+	s.ColdChunks = int64(len(t.entries))
+	return s
+}

@@ -4,13 +4,13 @@ import "testing"
 
 func TestLRUEvictsLeastRecent(t *testing.T) {
 	c, _ := New(700, NewLRU()) // room for two 10-cell chunks
-	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1)
-	c.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 1)
+	c.Insert(key(1), mkChunk(0, 1, 10), AsBackend(1))
+	c.Insert(key(2), mkChunk(0, 2, 10), AsBackend(1))
 	// Touch 1 so 2 becomes the LRU victim.
 	if _, ok := c.Get(key(1)); !ok {
 		t.Fatalf("Get(1) missed")
 	}
-	if !c.Insert(key(3), mkChunk(0, 3, 10), ClassBackend, 1) {
+	if !c.Insert(key(3), mkChunk(0, 3, 10), AsBackend(1)) {
 		t.Fatalf("insert denied")
 	}
 	if !c.Contains(key(1)) || c.Contains(key(2)) {
@@ -20,10 +20,10 @@ func TestLRUEvictsLeastRecent(t *testing.T) {
 
 func TestLRURespectsPins(t *testing.T) {
 	c, _ := New(700, NewLRU())
-	c.Insert(key(1), mkChunk(0, 1, 10), ClassBackend, 1)
-	c.Insert(key(2), mkChunk(0, 2, 10), ClassBackend, 1)
+	c.Insert(key(1), mkChunk(0, 1, 10), AsBackend(1))
+	c.Insert(key(2), mkChunk(0, 2, 10), AsBackend(1))
 	c.Pin(key(1)) // 1 is the LRU entry but pinned
-	if !c.Insert(key(3), mkChunk(0, 3, 10), ClassBackend, 1) {
+	if !c.Insert(key(3), mkChunk(0, 3, 10), AsBackend(1)) {
 		t.Fatalf("insert denied")
 	}
 	if !c.Contains(key(1)) || c.Contains(key(2)) {
@@ -31,17 +31,17 @@ func TestLRURespectsPins(t *testing.T) {
 	}
 	c.Pin(key(1))
 	c.Pin(key(3))
-	if c.Insert(key(4), mkChunk(0, 4, 10), ClassBackend, 1) {
+	if c.Insert(key(4), mkChunk(0, 4, 10), AsBackend(1)) {
 		t.Fatalf("insert admitted with everything pinned")
 	}
 }
 
 func TestLRUReinforceCountsAsAccess(t *testing.T) {
 	c, _ := New(700, NewLRU())
-	c.Insert(key(1), mkChunk(0, 1, 10), ClassComputed, 1)
-	c.Insert(key(2), mkChunk(0, 2, 10), ClassComputed, 1)
+	c.Insert(key(1), mkChunk(0, 1, 10), AsComputed(1))
+	c.Insert(key(2), mkChunk(0, 2, 10), AsComputed(1))
 	c.Reinforce([]Key{key(1)}, 100)
-	if !c.Insert(key(3), mkChunk(0, 3, 10), ClassComputed, 1) {
+	if !c.Insert(key(3), mkChunk(0, 3, 10), AsComputed(1)) {
 		t.Fatalf("insert denied")
 	}
 	if !c.Contains(key(1)) || c.Contains(key(2)) {

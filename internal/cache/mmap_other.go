@@ -1,0 +1,8 @@
+//go:build !unix
+
+package cache
+
+// mapFile reads path into memory on platforms without mmap support.
+func mapFile(path string) ([]byte, func(), error) {
+	return readFileFallback(path)
+}

@@ -1,0 +1,38 @@
+//go:build unix
+
+package cache
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only and returns the mapping plus a release
+// func. Snapshot loads read the whole file once front-to-back; mmap lets the
+// kernel page it in on demand instead of double-buffering a potentially
+// multi-gigabyte log through the Go heap. Empty files (a snapshot of an
+// empty store is just the magic header, never zero bytes, but be safe) and
+// mmap failures fall back to a plain read.
+func mapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	if size != int64(int(size)) {
+		return readFileFallback(path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return readFileFallback(path)
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

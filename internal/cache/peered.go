@@ -445,7 +445,7 @@ func (p *Peered) exchange(ctx context.Context, st *peerState, k Key) (*chunk.Chu
 	// on duplicates of the same hot set and the group's distinct capacity
 	// stops growing with membership. The insert goes straight to the local
 	// store — a fill must never re-enter the replication path it came from.
-	p.local.Insert(k, data, ClassComputed, benefit)
+	p.local.Insert(k, data, AsComputed(benefit))
 	return data, cl, benefit, true
 }
 
@@ -524,22 +524,16 @@ func (p *Peered) GetInfo(k Key) (*chunk.Chunk, Class, float64, bool) {
 
 // Insert implements Store: the chunk becomes resident locally, and backend
 // fills whose ring owner is a remote peer replicate asynchronously so the
-// group can reuse them. Computed chunks stay local — they are cheap to
-// rebuild from what the cluster already holds, and replicating them would
-// turn every in-cache aggregation into wire traffic.
-func (p *Peered) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool {
-	ok := p.local.Insert(k, data, cl, benefit)
-	if ok && cl == ClassBackend {
-		p.replicate(k, data, cl, benefit)
+// group can reuse them. Computed, recycled and promoted chunks stay local —
+// they are cheap to rebuild (or already replicated when first fetched), so
+// shipping them would turn in-cache work into wire traffic.
+func (p *Peered) Insert(k Key, data *chunk.Chunk, opts ...InsertOption) bool {
+	spec := applyInsertOptions(opts)
+	ok := p.local.Insert(k, data, opts...)
+	if ok && spec.class == ClassBackend && !spec.recycled && !spec.promoted {
+		p.replicate(k, data, spec.class, spec.benefit)
 	}
 	return ok
-}
-
-// InsertRecycled implements Store: recycled intermediates stay strictly
-// local — they are speculative and cheap to rebuild, so they are never
-// replicated to ring owners.
-func (p *Peered) InsertRecycled(k Key, data *chunk.Chunk, benefit float64) bool {
-	return p.local.InsertRecycled(k, data, benefit)
 }
 
 // Evict implements Store (local tier only).
@@ -561,7 +555,7 @@ func (p *Peered) Contains(k Key) bool { return p.local.Contains(k) }
 func (p *Peered) Keys(dst []Key) []Key { return p.local.Keys(dst) }
 
 // Range implements Store.
-func (p *Peered) Range(fn func(k Key, data *chunk.Chunk, cl Class, benefit float64)) {
+func (p *Peered) Range(fn func(k Key, data *chunk.Chunk, cl Class, benefit float64, recycled bool)) {
 	p.local.Range(fn)
 }
 

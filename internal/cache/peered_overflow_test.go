@@ -63,7 +63,7 @@ func TestPeeredPutQueueOverflow(t *testing.T) {
 	insert := func(i int) {
 		t.Helper()
 		start := time.Now()
-		if !p.Insert(key(i), mkChunk(0, i, 5), ClassBackend, 1) {
+		if !p.Insert(key(i), mkChunk(0, i, 5), AsBackend(1)) {
 			t.Fatalf("insert %d denied", i)
 		}
 		// The replication path is select/default: a full queue must never

@@ -149,7 +149,7 @@ func TestPeeredSelfOwnedKeysSkipPeers(t *testing.T) {
 		t.Fatalf("self-owned fill should report false")
 	}
 	// Inserts of self-owned chunks must not replicate anywhere.
-	p.Insert(key(1), mkChunk(0, 1, 3), ClassBackend, 10)
+	p.Insert(key(1), mkChunk(0, 1, 3), AsBackend(10))
 	if st := p.PeerStats(); st.Puts != 0 && st.PutDrops != 0 {
 		t.Fatalf("stats = %+v", st)
 	}
@@ -157,8 +157,8 @@ func TestPeeredSelfOwnedKeysSkipPeers(t *testing.T) {
 
 func TestPeeredReplicatesBackendClassOnly(t *testing.T) {
 	p, peer := newPeeredPair(t, PeeredConfig{})
-	p.Insert(key(1), mkChunk(0, 1, 3), ClassBackend, 10)
-	p.Insert(key(2), mkChunk(0, 2, 3), ClassComputed, 10)
+	p.Insert(key(1), mkChunk(0, 1, 3), AsBackend(10))
+	p.Insert(key(2), mkChunk(0, 2, 3), AsComputed(10))
 
 	deadline := time.Now().Add(2 * time.Second)
 	for {

@@ -215,10 +215,18 @@ func (p *TwoLevel) ringOf(e *Entry) *ring {
 // are probationary: they enter at the minimum clock weight so unproven
 // chunks are the first reclaimed, and earn their benefit-derived weight with
 // the first reinforcement (which also promotes them to the protected ring).
+// Tier promotions (Entry.Promoted) skip probation entirely and land in the
+// protected ring whatever their class: a chunk that survived demotion and
+// was asked for again has proven reuse ("protect on promote").
 func (p *TwoLevel) Added(e *Entry) {
 	e.clock = clockWeight(e.Benefit)
 	if e.Class == ClassBackend {
 		p.backend.push(e)
+		return
+	}
+	if e.Promoted {
+		p.backend.push(e)
+		p.promoted++
 		return
 	}
 	if p.promote {
@@ -266,7 +274,7 @@ func (p *TwoLevel) NextVictim(cl Class) *Entry {
 		if v := p.computed.sweep(); v != nil {
 			return v
 		}
-		if p.promote && p.promoted > 0 {
+		if p.promoted > 0 {
 			return p.backend.sweepClass(ClassComputed)
 		}
 		return nil

@@ -36,9 +36,10 @@ type Sharded struct {
 	used     atomic.Int64
 	resident atomic.Int64
 	shards   []shard
-	// listener and met are set before the store serves traffic (see the
-	// Store contract) and are read-only afterwards.
+	// listener, hook and met are set before the store serves traffic (see
+	// the Store contract) and are read-only afterwards.
 	listener Listener
+	hook     tierHook
 	met      obs.CacheMetrics
 }
 
@@ -122,6 +123,9 @@ func (c *Sharded) Shards() int { return len(c.shards) }
 
 // SetListener implements Store.
 func (c *Sharded) SetListener(l Listener) { c.listener = l }
+
+// setTierHook implements hookable.
+func (c *Sharded) setTierHook(h tierHook) { c.hook = h }
 
 // SetMetrics implements Store.
 func (c *Sharded) SetMetrics(m obs.CacheMetrics) {
@@ -226,16 +230,11 @@ func (c *Sharded) Peek(k Key) (*chunk.Chunk, bool) {
 // Cache.Insert, bounded by both the shard limit (local evictions make room)
 // and the global capacity (reserved atomically, evicting locally until the
 // reservation fits).
-func (c *Sharded) Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool {
-	return c.insert(k, data, cl, benefit, false)
+func (c *Sharded) Insert(k Key, data *chunk.Chunk, opts ...InsertOption) bool {
+	return c.insert(k, data, applyInsertOptions(opts))
 }
 
-// InsertRecycled implements Store; see Cache.InsertRecycled.
-func (c *Sharded) InsertRecycled(k Key, data *chunk.Chunk, benefit float64) bool {
-	return c.insert(k, data, ClassComputed, benefit, true)
-}
-
-func (c *Sharded) insert(k Key, data *chunk.Chunk, cl Class, benefit float64, recycled bool) bool {
+func (c *Sharded) insert(k Key, data *chunk.Chunk, spec insertSpec) bool {
 	need := data.Bytes()
 	s := c.shard(k)
 	s.mu.Lock()
@@ -250,7 +249,7 @@ func (c *Sharded) insert(k Key, data *chunk.Chunk, cl Class, benefit float64, re
 		if delta > 0 {
 			// Shield the entry being replaced from the victim scan.
 			e.pins++
-			if !c.makeRoomLocked(s, delta, cl) {
+			if !c.makeRoomLocked(s, delta, spec.class) {
 				e.pins--
 				s.stats.Denied++
 				c.met.Denied.Inc()
@@ -262,28 +261,38 @@ func (c *Sharded) insert(k Key, data *chunk.Chunk, cl Class, benefit float64, re
 		}
 		s.used += delta
 		e.Data = data
-		if e.Class != cl {
+		if e.Class != spec.class {
 			// Migrate to the ring matching the new class.
 			s.policy.Removed(e)
-			e.Class = cl
+			e.Class = spec.class
 			s.policy.Added(e)
 		}
-		e.Benefit = benefit
+		e.Benefit = spec.benefit
 		// e.Recycled keeps its insert-time value: replacement fires no
 		// listener events, and the strategy's eviction dual must match
 		// whatever maintenance OnInsert performed for this residency.
-		_ = recycled
 		s.policy.Accessed(e)
 		c.met.Replacements.Inc()
 		c.syncGauges()
 		return true
 	}
-	if !c.makeRoomLocked(s, need, cl) {
+	if c.hook != nil {
+		// A cold-resident key makes this insert a promotion (see
+		// Cache.insert); decided under the shard lock that serializes this
+		// key's tier transitions.
+		if ps, wasCold := c.hook.peekCold(k); wasCold {
+			spec = ps
+		}
+	}
+	if !c.makeRoomLocked(s, need, spec.class) {
 		s.stats.Denied++
 		c.met.Denied.Inc()
 		return false
 	}
-	e := &Entry{Key: k, Data: data, Class: cl, Benefit: benefit, Recycled: recycled}
+	if spec.promoted && c.hook != nil {
+		c.hook.claimCold(k)
+	}
+	e := &Entry{Key: k, Data: data, Class: spec.class, Benefit: spec.benefit, Recycled: spec.recycled, Promoted: spec.promoted}
 	s.entries[k] = e
 	s.used += need
 	c.resident.Add(1)
@@ -292,7 +301,11 @@ func (c *Sharded) insert(k Key, data *chunk.Chunk, cl Class, benefit float64, re
 	s.policy.Added(e)
 	c.syncGauges()
 	if c.listener != nil {
-		c.listener.OnInsert(e)
+		if spec.promoted {
+			c.listener.OnEvent(Event{Key: k, Reason: Promoted, Entry: e})
+		} else {
+			c.listener.OnInsert(e)
+		}
 	}
 	return true
 }
@@ -348,8 +361,15 @@ func (c *Sharded) removeLocked(s *shard, e *Entry, policyEvict bool) {
 	}
 	c.syncGauges()
 	s.policy.Removed(e)
+	reason := Removed
+	if policyEvict {
+		reason = Evicted
+		if c.hook != nil && c.hook.demote(e) {
+			reason = Demoted
+		}
+	}
 	if c.listener != nil {
-		c.listener.OnEvict(e)
+		c.listener.OnEvent(Event{Key: e.Key, Reason: reason, Entry: e})
 	}
 }
 
@@ -417,12 +437,12 @@ func (c *Sharded) Keys(dst []Key) []Key {
 
 // Range implements Store, visiting shards one at a time; fn runs under the
 // owning shard's lock and must not call back into the store.
-func (c *Sharded) Range(fn func(k Key, data *chunk.Chunk, cl Class, benefit float64)) {
+func (c *Sharded) Range(fn func(k Key, data *chunk.Chunk, cl Class, benefit float64, recycled bool)) {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
 		for k, e := range s.entries {
-			fn(k, e.Data, e.Class, e.Benefit)
+			fn(k, e.Data, e.Class, e.Benefit, e.Recycled)
 		}
 		s.mu.Unlock()
 	}

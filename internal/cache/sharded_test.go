@@ -125,7 +125,7 @@ func TestShardDistributionUniformity(t *testing.T) {
 func TestShardedBasics(t *testing.T) {
 	c := newSharded4(t, 100_000)
 	for num := 0; num < 8; num++ {
-		if !c.Insert(key(num), mkChunk(0, num, 10), ClassBackend, 100) {
+		if !c.Insert(key(num), mkChunk(0, num, 10), AsBackend(100)) {
 			t.Fatalf("insert %d denied", num)
 		}
 	}
@@ -152,7 +152,7 @@ func TestShardedBasics(t *testing.T) {
 		t.Fatalf("Keys = %v", ks)
 	}
 	var sum int64
-	c.Range(func(_ Key, data *chunk.Chunk, _ Class, _ float64) { sum += data.Bytes() })
+	c.Range(func(_ Key, data *chunk.Chunk, _ Class, _ float64, _ bool) { sum += data.Bytes() })
 	if sum != c.Used() {
 		t.Fatalf("Range bytes %d != Used %d", sum, c.Used())
 	}
@@ -183,23 +183,23 @@ func TestShardedPinInterleavings(t *testing.T) {
 	b1 := shardKey(c, 1, 0)
 
 	mk := func(k Key) *chunk.Chunk { return mkChunk(int(k.GB), int(k.Num), 10) }
-	c.Insert(a1, mk(a1), ClassBackend, 1)
-	c.Insert(a2, mk(a2), ClassBackend, 1)
-	c.Insert(a3, mk(a3), ClassBackend, 1)
-	c.Insert(b1, mk(b1), ClassBackend, 1)
+	c.Insert(a1, mk(a1), AsBackend(1))
+	c.Insert(a2, mk(a2), AsBackend(1))
+	c.Insert(a3, mk(a3), AsBackend(1))
+	c.Insert(b1, mk(b1), AsBackend(1))
 	if !c.Pin(a1) || !c.Pin(a2) || !c.Pin(a3) {
 		t.Fatalf("Pin failed")
 	}
 	// Shard 0 is at its limit with every entry pinned: the insert must be
 	// denied rather than evict a pinned chunk or touch shard 1.
-	if c.Insert(a4, mk(a4), ClassBackend, 1) {
+	if c.Insert(a4, mk(a4), AsBackend(1)) {
 		t.Fatalf("insert admitted with the whole shard pinned")
 	}
 	if !c.Contains(b1) {
 		t.Fatalf("other shard's chunk was evicted")
 	}
 	c.Unpin(a2)
-	if !c.Insert(a4, mk(a4), ClassBackend, 1) {
+	if !c.Insert(a4, mk(a4), AsBackend(1)) {
 		t.Fatalf("insert denied after unpin")
 	}
 	if c.Contains(a2) {
@@ -240,7 +240,7 @@ func TestShardedCapacityBorrowing(t *testing.T) {
 		hot[i] = shardKey(c, 0, int(hot[i-1].Num)+1)
 	}
 	for i := 0; i < 3; i++ {
-		if !c.Insert(hot[i], mkChunk(0, int(hot[i].Num), 10), ClassBackend, 1) {
+		if !c.Insert(hot[i], mkChunk(0, int(hot[i].Num), 10), AsBackend(1)) {
 			t.Fatalf("borrowing insert %d denied", i)
 		}
 	}
@@ -251,7 +251,7 @@ func TestShardedCapacityBorrowing(t *testing.T) {
 		t.Fatalf("borrowing did not exceed the even share: Used = %d", c.Used())
 	}
 	// A fourth chunk exceeds the shard limit: evict locally, stay at 3.
-	if !c.Insert(hot[3], mkChunk(0, int(hot[3].Num), 10), ClassBackend, 1) {
+	if !c.Insert(hot[3], mkChunk(0, int(hot[3].Num), 10), AsBackend(1)) {
 		t.Fatalf("insert at the shard limit denied")
 	}
 	if c.Len() != 3 || !c.Contains(hot[3]) {
@@ -262,13 +262,13 @@ func TestShardedCapacityBorrowing(t *testing.T) {
 	// but a second forces it to evict locally (3 + 2 chunks > capacity 4).
 	cold1 := shardKey(c, 1, 0)
 	cold2 := shardKey(c, 1, int(cold1.Num)+1)
-	if !c.Insert(cold1, mkChunk(0, int(cold1.Num), 10), ClassBackend, 1) {
+	if !c.Insert(cold1, mkChunk(0, int(cold1.Num), 10), AsBackend(1)) {
 		t.Fatalf("cold insert denied")
 	}
 	if c.Used() != c.Capacity() {
 		t.Fatalf("Used = %d, want full capacity %d", c.Used(), c.Capacity())
 	}
-	if !c.Insert(cold2, mkChunk(0, int(cold2.Num), 10), ClassBackend, 1) {
+	if !c.Insert(cold2, mkChunk(0, int(cold2.Num), 10), AsBackend(1)) {
 		t.Fatalf("insert under a binding global bound denied")
 	}
 	if !c.Contains(cold2) || c.Contains(cold1) {
@@ -283,7 +283,7 @@ func TestShardedCapacityBorrowing(t *testing.T) {
 	s2, _ := New(1000, NewBenefitClock(), WithShards(2))
 	c2 := s2.(*Sharded)
 	big := mkChunk(0, 0, 30) // 784 bytes > 750 shard limit
-	if c2.Insert(key(0), big, ClassBackend, 1) {
+	if c2.Insert(key(0), big, AsBackend(1)) {
 		t.Fatalf("chunk above the shard limit admitted")
 	}
 	if c2.Stats().Denied != 1 {
@@ -312,11 +312,11 @@ func TestShardedReinforceKeepsGroup(t *testing.T) {
 	k2 := shardKey(c, 0, int(k1.Num)+1)
 	k3 := shardKey(c, 0, int(k2.Num)+1)
 	other := shardKey(c, 1, 0)
-	c.Insert(k1, mkChunk(0, int(k1.Num), 10), ClassComputed, 1)
-	c.Insert(k2, mkChunk(0, int(k2.Num), 10), ClassComputed, 1)
-	c.Insert(k3, mkChunk(0, int(k3.Num), 10), ClassComputed, 1) // shard full
+	c.Insert(k1, mkChunk(0, int(k1.Num), 10), AsComputed(1))
+	c.Insert(k2, mkChunk(0, int(k2.Num), 10), AsComputed(1))
+	c.Insert(k3, mkChunk(0, int(k3.Num), 10), AsComputed(1)) // shard full
 	c.Reinforce([]Key{k1, k3, other, {GB: 9, Num: 9}}, 1e9)
-	if !c.Insert(shardKey(c, 0, int(k3.Num)+1), mkChunk(0, 99, 10), ClassComputed, 1) {
+	if !c.Insert(shardKey(c, 0, int(k3.Num)+1), mkChunk(0, 99, 10), AsComputed(1)) {
 		t.Fatalf("insert denied")
 	}
 	if !c.Contains(k1) || !c.Contains(k3) {
@@ -346,9 +346,12 @@ func TestShardedEquivalence(t *testing.T) {
 		switch rng.Intn(6) {
 		case 0, 1, 2:
 			n := 1 + rng.Intn(20)
-			cl := Class(rng.Intn(2))
+			opt := AsBackend
+			if rng.Intn(2) == 1 {
+				opt = AsComputed
+			}
 			b := float64(rng.Intn(1000))
-			if single.Insert(key(num), mkChunk(0, num, n), cl, b) != sharded.Insert(key(num), mkChunk(0, num, n), cl, b) {
+			if single.Insert(key(num), mkChunk(0, num, n), opt(b)) != sharded.Insert(key(num), mkChunk(0, num, n), opt(b)) {
 				t.Fatalf("op %d: Insert verdicts differ", op)
 			}
 		case 3:
@@ -402,7 +405,11 @@ func TestShardedConcurrentSoak(t *testing.T) {
 					num := rng.Intn(40)
 					switch rng.Intn(8) {
 					case 0, 1, 2:
-						s.Insert(key(num), mkChunk(0, num, 1+rng.Intn(12)), Class(rng.Intn(2)), float64(rng.Intn(1000)))
+						opt := AsBackend
+						if rng.Intn(2) == 1 {
+							opt = AsComputed
+						}
+						s.Insert(key(num), mkChunk(0, num, 1+rng.Intn(12)), opt(float64(rng.Intn(1000))))
 					case 3:
 						s.Get(key(num))
 					case 4:
@@ -434,7 +441,7 @@ func TestShardedConcurrentSoak(t *testing.T) {
 		wg.Wait()
 		var sum int64
 		n := 0
-		s.Range(func(_ Key, data *chunk.Chunk, _ Class, _ float64) {
+		s.Range(func(_ Key, data *chunk.Chunk, _ Class, _ float64, _ bool) {
 			sum += data.Bytes()
 			n++
 		})
@@ -468,7 +475,7 @@ func TestStoreStatsConcurrent(t *testing.T) {
 					rng := rand.New(rand.NewSource(int64(w)))
 					for i := 0; i < 500; i++ {
 						num := rng.Intn(30)
-						s.Insert(key(num), mkChunk(0, num, 1+rng.Intn(10)), ClassBackend, 1)
+						s.Insert(key(num), mkChunk(0, num, 1+rng.Intn(10)), AsBackend(1))
 						s.Get(key(rng.Intn(30)))
 					}
 				}(w)

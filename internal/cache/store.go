@@ -30,15 +30,11 @@ type Store interface {
 	// hit/miss counters.
 	Peek(k Key) (*chunk.Chunk, bool)
 	// Insert makes data resident under k, evicting per the policy as needed,
-	// and reports whether the chunk was admitted. See Cache.Insert for the
-	// replacement semantics every implementation follows.
-	Insert(k Key, data *chunk.Chunk, cl Class, benefit float64) bool
-	// InsertRecycled admits a speculative intermediate aggregate as a
-	// computed-class resident whose Entry carries the Recycled mark, so
-	// listener strategies apply presence-only (O(1)) maintenance instead of
-	// full count/cost propagation. Peered stores never replicate such
-	// chunks.
-	InsertRecycled(k Key, data *chunk.Chunk, benefit float64) bool
+	// and reports whether the chunk was admitted. The options select the
+	// residency variant (backend-class with zero benefit by default); see
+	// InsertOption. See Cache.Insert for the replacement semantics every
+	// implementation follows.
+	Insert(k Key, data *chunk.Chunk, opts ...InsertOption) bool
 	// Evict removes k if resident (administrative removal, not a policy
 	// eviction).
 	Evict(k Key) bool
@@ -54,10 +50,10 @@ type Store interface {
 	Contains(k Key) bool
 	// Keys appends all resident keys to dst; order is unspecified.
 	Keys(dst []Key) []Key
-	// Range calls fn for every resident entry (order unspecified). fn runs
-	// under the store's internal lock(s) and must not call back into the
-	// store.
-	Range(fn func(k Key, data *chunk.Chunk, cl Class, benefit float64))
+	// Range calls fn for every resident entry (order unspecified) with its
+	// residency attributes. fn runs under the store's internal lock(s) and
+	// must not call back into the store.
+	Range(fn func(k Key, data *chunk.Chunk, cl Class, benefit float64, recycled bool))
 	// Stats returns a consistent copy of the activity counters.
 	Stats() Stats
 	// Capacity returns the byte bound.
@@ -75,6 +71,63 @@ type Store interface {
 	// Policy exposes a replacement policy for reporting (Name). On a
 	// sharded store this is one representative shard's instance.
 	Policy() Policy
+}
+
+// insertSpec is the resolved residency of one Insert call.
+type insertSpec struct {
+	class    Class
+	benefit  float64
+	recycled bool
+	promoted bool
+}
+
+// InsertOption selects the residency variant of one Insert. The store used
+// to expose three entry points (Insert with a class, InsertRecycled, and an
+// implicit promote path) whose semantics differed subtly; the options fold
+// them into one method so a composed store (Peered over Tiered over Sharded)
+// can inspect a single spec instead of mirroring three signatures.
+type InsertOption func(*insertSpec)
+
+// applyInsertOptions resolves opts over the default spec: a backend-class
+// resident with zero benefit.
+func applyInsertOptions(opts []InsertOption) insertSpec {
+	var s insertSpec
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
+// AsBackend marks the chunk as fetched from the backend database with the
+// given recomputation benefit. This is the default class; the option exists
+// to carry the benefit.
+func AsBackend(benefit float64) InsertOption {
+	return func(s *insertSpec) { s.class, s.benefit, s.recycled = ClassBackend, benefit, false }
+}
+
+// AsComputed marks the chunk as aggregated from cached chunks; the two-level
+// policy keeps such entries replaceable ahead of backend ones (§6.3).
+func AsComputed(benefit float64) InsertOption {
+	return func(s *insertSpec) { s.class, s.benefit, s.recycled = ClassComputed, benefit, false }
+}
+
+// AsRecycled admits a speculative intermediate aggregate as a computed-class
+// resident whose Entry carries the Recycled mark, so listener strategies
+// apply presence-only (O(1)) maintenance instead of full count/cost
+// propagation. Peered stores never replicate such chunks.
+func AsRecycled(benefit float64) InsertOption {
+	return func(s *insertSpec) { s.class, s.benefit, s.recycled = ClassComputed, benefit, true }
+}
+
+// AsPromoted marks the insert as a tier promotion: the chunk is re-entering
+// the hot tier from a colder one, so it was never gone. The policy admits it
+// straight into the protected ring, and the listener receives an OnEvent
+// with Reason Promoted instead of OnInsert — insert-side strategy
+// bookkeeping (counts, costs) survived the demotion and must not run twice.
+// Compose it after a class option (AsBackend/AsComputed/AsRecycled) to
+// restore the entry's pre-demotion residency.
+func AsPromoted() InsertOption {
+	return func(s *insertSpec) { s.promoted = true }
 }
 
 // Forker is implemented by replacement policies that can produce fresh,

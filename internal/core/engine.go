@@ -329,6 +329,25 @@ func (e *Engine) Strategy() strategy.Strategy { return e.strat }
 // Stats returns a copy of the cumulative counters.
 func (e *Engine) Stats() Stats { return e.stats.snapshot() }
 
+// TierStats returns the cache store's tier counters (cold-tier hits,
+// promotions, demotions, compression footprint) when the store — directly or
+// behind a Peered wrapper — is tiered; ok=false for a flat store. Promote
+// cost shows up in plans as cache hits whose bytes were paid once at
+// promotion time, so these counters are what attributes that cost.
+func (e *Engine) TierStats() (cache.TierStats, bool) {
+	st := e.cache
+	for {
+		if ts, ok := st.(cache.TierStatser); ok {
+			return ts.TierStats(), true
+		}
+		u, ok := st.(interface{ Local() cache.Store })
+		if !ok {
+			return cache.TierStats{}, false
+		}
+		st = u.Local()
+	}
+}
+
 // Degraded reports whether the engine is in cache-only degraded mode: its
 // backend carries a circuit breaker and the breaker is not closed. In that
 // state cache-computable queries still succeed and backend-requiring
@@ -597,7 +616,7 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 				// backend-class hot set, a Peered store never replicates
 				// them to ring owners, and strategies maintain them with
 				// presence-only (O(1)) bookkeeping.
-				if e.cache.InsertRecycled(ic.key, ic.data, ic.benefit) {
+				if e.cache.Insert(ic.key, ic.data, cache.AsRecycled(ic.benefit)) {
 					res.RecycledChunks++
 					e.stats.recycled.Add(1)
 					e.met.RecycledChunks.Inc()
@@ -605,7 +624,7 @@ func (e *Engine) execute(ctx context.Context, q Query) (*Result, error) {
 			}
 			benefit := float64(out.tuples)
 			rootKey := cache.Key{GB: nq.GB, Num: int32(p.plan.Num)}
-			e.cache.Insert(rootKey, out.data, cache.ClassComputed, benefit)
+			e.cache.Insert(rootKey, out.data, cache.AsComputed(benefit))
 			if !e.opts.disableReinforce {
 				// The root served the query that created it, so it counts as
 				// reused on arrival: reinforcing it alongside the leaves lifts

@@ -33,7 +33,7 @@ func (p *storePeer) Get(ctx context.Context, k cache.Key) (*chunk.Chunk, cache.C
 }
 
 func (p *storePeer) Put(ctx context.Context, k cache.Key, data *chunk.Chunk, cl cache.Class, benefit float64) error {
-	p.st.Insert(k, data, cache.ClassComputed, benefit)
+	p.st.Insert(k, data, cache.AsComputed(benefit))
 	return nil
 }
 
@@ -106,7 +106,7 @@ func TestRecycledIntermediatesPeered(t *testing.T) {
 
 	// Every recycled (non-base, non-top) resident carries computed class.
 	recycled := map[cache.Key]bool{}
-	local.Range(func(k cache.Key, _ *chunk.Chunk, cl cache.Class, _ float64) {
+	local.Range(func(k cache.Key, _ *chunk.Chunk, cl cache.Class, _ float64, _ bool) {
 		if k.GB == lat.Base() || k.GB == lat.Top() {
 			return
 		}

@@ -59,7 +59,7 @@ func (e *Engine) Preload(ctx context.Context) (lattice.ID, bool, error) {
 	}
 	benefit := (float64(bstats.TuplesScanned)*e.opts.backendPenalty + e.opts.connectCostUnits) / float64(len(nums))
 	for i, c := range chunks {
-		e.cache.Insert(cache.Key{GB: gb, Num: int32(nums[i])}, c, cache.ClassBackend, benefit)
+		e.cache.Insert(cache.Key{GB: gb, Num: int32(nums[i])}, c, cache.AsBackend(benefit))
 	}
 	e.stats.backendQueries.Add(1)
 	e.stats.backendTuples.Add(bstats.TuplesScanned)

@@ -76,9 +76,15 @@ type listenerTee struct {
 
 func (t listenerTee) OnInsert(e *cache.Entry) { t.strat.OnInsert(e) }
 
-func (t listenerTee) OnEvict(e *cache.Entry) {
-	t.strat.OnEvict(e)
-	t.rcache.onEvict(e.Key)
+// OnEvent forwards every event to the strategy (it distinguishes tier moves
+// itself) but invalidates result-cache entries only on true departures: a
+// demoted chunk still answers through the store's cold tier and a promoted
+// one never left, so cached answers built on them remain valid.
+func (t listenerTee) OnEvent(ev cache.Event) {
+	t.strat.OnEvent(ev)
+	if !ev.Answerable() {
+		t.rcache.onEvict(ev.Key)
+	}
 }
 
 // recycleFills extends the recycler to backend fills: a batch of chunks
@@ -140,7 +146,7 @@ func (e *Engine) recycleFills(gb lattice.ID, nums []int, data []*chunk.Chunk, re
 					break
 				}
 			}
-			if !rollErr && e.cache.InsertRecycled(k, cm.Build(ch, cc), float64(cost)) {
+			if !rollErr && e.cache.Insert(k, cm.Build(ch, cc), cache.AsRecycled(float64(cost))) {
 				res.RecycledChunks++
 				e.stats.recycled.Add(1)
 				e.met.RecycledChunks.Inc()

@@ -166,7 +166,7 @@ func (e *Engine) fetchMissing(ctx context.Context, gb lattice.ID, missing, missi
 		m0 := e.strat.Maintenance()
 		for i, c := range chunks {
 			res.Chunks[ownIdx[i]] = c
-			e.cache.Insert(cache.Key{GB: gb, Num: int32(own[i])}, c, cache.ClassBackend, benefit)
+			e.cache.Insert(cache.Key{GB: gb, Num: int32(own[i])}, c, cache.AsBackend(benefit))
 		}
 		m1 := e.strat.Maintenance()
 		res.Breakdown.Update += m1.Sub(m0).Time

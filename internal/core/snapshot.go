@@ -1,39 +1,19 @@
 package core
 
 import (
-	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"aggcache/internal/cache"
-	"aggcache/internal/chunk"
 )
 
-// snapEntry is one cached chunk in a snapshot.
-type snapEntry struct {
-	Key     cache.Key
-	Class   cache.Class
-	Benefit float64
-	Data    *chunk.Chunk
-}
-
-// snapshot is the on-disk cache image written by SaveCache.
-type snapshot struct {
-	Magic   string
-	Entries []snapEntry
-}
-
-const snapshotMagic = "aggcache-snapshot-v1"
-
-// SaveCache writes the cache contents (chunk payloads, classes, benefits)
-// to w, so a middle tier can restart warm. Replacement state (clock
-// weights) is not preserved; reloaded chunks start fresh.
+// SaveCache writes the cache contents (chunk payloads, classes, benefits,
+// recycled marks) to w in the cache package's snapshot-log format, so a
+// middle tier can restart warm. Replacement state (clock weights, ring
+// membership) is not preserved; reloaded chunks start fresh.
 func (e *Engine) SaveCache(w io.Writer) error {
-	snap := snapshot{Magic: snapshotMagic}
-	e.cache.Range(func(k cache.Key, data *chunk.Chunk, cl cache.Class, benefit float64) {
-		snap.Entries = append(snap.Entries, snapEntry{Key: k, Class: cl, Benefit: benefit, Data: data})
-	})
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+	if _, err := cache.WriteSnapshot(w, e.cache); err != nil {
 		return fmt.Errorf("core: save cache: %w", err)
 	}
 	return nil
@@ -41,29 +21,111 @@ func (e *Engine) SaveCache(w io.Writer) error {
 
 // LoadCache restores a snapshot written by SaveCache into the engine's
 // cache, re-inserting every chunk through the normal admission path so the
-// lookup strategy's counts and costs are maintained. It returns the number
-// of chunks admitted (the policy may deny some if the cache is smaller than
-// it was at save time).
+// lookup strategy's counts and costs are maintained. Entries are admitted in
+// descending benefit order: the most valuable chunks land in the hot tier
+// first, and whatever overflows a smaller-than-at-save-time cache demotes or
+// is denied in benefit order rather than file order. It returns the number
+// of chunks admitted.
+//
+// A corrupt record (torn tail from a crash mid-write, flipped bit) stops the
+// scan: the valid prefix is admitted and the cache.ErrSnapshot-wrapped error
+// is returned alongside the count, so the caller can choose a partially warm
+// cache over a cold one.
 func (e *Engine) LoadCache(r io.Reader) (int, error) {
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return 0, fmt.Errorf("core: load cache: %w", err)
 	}
-	if snap.Magic != snapshotMagic {
-		return 0, fmt.Errorf("core: not a cache snapshot (magic %q)", snap.Magic)
+	return e.loadSnapshot(data)
+}
+
+// LoadCacheFile is LoadCache over a snapshot file, memory-mapping it where
+// the platform allows so a multi-gigabyte log is not double-buffered through
+// the heap. A missing file is reported as os.ErrNotExist.
+func (e *Engine) LoadCacheFile(path string) (int, error) {
+	var entries []cache.SnapshotEntry
+	var verr error
+	err := cache.LoadSnapshotFile(path, func(se cache.SnapshotEntry) error {
+		if verr = e.validateSnapshotEntry(se); verr != nil {
+			return verr
+		}
+		entries = append(entries, se)
+		return nil
+	})
+	if verr != nil {
+		return 0, verr
 	}
+	n := e.admitSnapshotEntries(entries)
+	if err != nil {
+		return n, fmt.Errorf("core: load cache: %w", err)
+	}
+	return n, nil
+}
+
+// loadSnapshot parses and admits a whole in-memory snapshot log; see
+// LoadCache for the partial-load contract.
+func (e *Engine) loadSnapshot(data []byte) (int, error) {
+	var entries []cache.SnapshotEntry
+	var verr error
+	err := cache.ReadSnapshot(data, func(se cache.SnapshotEntry) error {
+		if verr = e.validateSnapshotEntry(se); verr != nil {
+			return verr
+		}
+		entries = append(entries, se)
+		return nil
+	})
+	if verr != nil {
+		return 0, verr
+	}
+	n := e.admitSnapshotEntries(entries)
+	if err != nil {
+		return n, fmt.Errorf("core: load cache: %w", err)
+	}
+	return n, nil
+}
+
+// validateSnapshotEntry rejects records that do not fit this engine's grid —
+// a snapshot from a different schema or scale must not be admitted.
+func (e *Engine) validateSnapshotEntry(se cache.SnapshotEntry) error {
 	lat := e.grid.Lattice()
+	if int(se.Key.GB) < 0 || int(se.Key.GB) >= lat.NumNodes() {
+		return fmt.Errorf("core: snapshot entry %v outside the lattice", se.Key)
+	}
+	if se.Data == nil || int(se.Key.Num) < 0 || int(se.Key.Num) >= e.grid.NumChunks(se.Key.GB) {
+		return fmt.Errorf("core: snapshot entry %v is corrupt", se.Key)
+	}
+	return nil
+}
+
+// admitSnapshotEntries reinserts entries in descending benefit order and
+// returns how many the store admitted.
+func (e *Engine) admitSnapshotEntries(entries []cache.SnapshotEntry) int {
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Benefit > entries[j].Benefit })
 	admitted := 0
-	for _, se := range snap.Entries {
-		if int(se.Key.GB) < 0 || int(se.Key.GB) >= lat.NumNodes() {
-			return admitted, fmt.Errorf("core: snapshot entry %v outside the lattice", se.Key)
+	for _, se := range entries {
+		var opt cache.InsertOption
+		switch {
+		case se.Recycled:
+			opt = cache.AsRecycled(se.Benefit)
+		case se.Class == cache.ClassComputed:
+			opt = cache.AsComputed(se.Benefit)
+		default:
+			opt = cache.AsBackend(se.Benefit)
 		}
-		if se.Data == nil || int(se.Key.Num) >= e.grid.NumChunks(se.Key.GB) {
-			return admitted, fmt.Errorf("core: snapshot entry %v is corrupt", se.Key)
-		}
-		if e.cache.Insert(se.Key, se.Data, se.Class, se.Benefit) {
+		if e.cache.Insert(se.Key, se.Data, opt) {
 			admitted++
 		}
 	}
-	return admitted, nil
+	return admitted
+}
+
+// SaveCacheFile writes a snapshot of the cache to path atomically (temp file
+// + rename), returning the number of records written. A crash mid-save
+// leaves any previous snapshot at path intact.
+func (e *Engine) SaveCacheFile(path string) (int, error) {
+	n, err := cache.SaveSnapshotFile(path, e.cache)
+	if err != nil {
+		return n, fmt.Errorf("core: save cache: %w", err)
+	}
+	return n, nil
 }

@@ -209,7 +209,7 @@ func (s *Server) handlePeerPut(fr *wire.Frame) wire.Frame {
 	if !s.validKey(k) {
 		return peerErrFrame(fmt.Sprintf("mtier: peer put: no such chunk (%d,%d)", k.GB, k.Num), false)
 	}
-	stored := s.peerStore().Insert(k, data, cache.ClassComputed, benefit)
+	stored := s.peerStore().Insert(k, data, cache.AsComputed(benefit))
 	return wire.Frame{Type: framePeerAck, Payload: encodePeerAck(nil, stored)}
 }
 

@@ -119,6 +119,41 @@ func NewCacheMetrics(r *Registry) CacheMetrics {
 	}
 }
 
+// TierMetrics instruments the cold tier of a cache.Tiered store: compressed
+// occupancy against the raw footprint of the same residents (their ratio is
+// the effective compression), and the promote/demote traffic between tiers.
+// The zero value records nothing, like every bundle here.
+type TierMetrics struct {
+	ColdCapacityBytes  *Gauge
+	ColdOccupancyBytes *Gauge
+	ColdRawBytes       *Gauge
+	ColdChunks         *Gauge
+
+	ColdHits      *Counter
+	ColdMisses    *Counter
+	Promotes      *Counter
+	Demotes       *Counter
+	DemoteDenied  *Counter
+	ColdEvictions *Counter
+}
+
+// NewTierMetrics registers the cold-tier metric set on r.
+func NewTierMetrics(r *Registry) TierMetrics {
+	return TierMetrics{
+		ColdCapacityBytes:  r.Gauge("aggcache_cold_capacity_bytes", "Configured cold-tier capacity."),
+		ColdOccupancyBytes: r.Gauge("aggcache_cold_occupancy_bytes", "Compressed bytes charged to cold residents."),
+		ColdRawBytes:       r.Gauge("aggcache_cold_raw_bytes", "Uncompressed footprint of the cold residents (raw/occupancy = compression ratio)."),
+		ColdChunks:         r.Gauge("aggcache_cold_resident_chunks", "Number of cold-tier residents."),
+
+		ColdHits:      r.Counter("aggcache_cold_hits_total", "Hot-tier misses answered by decompressing a cold resident."),
+		ColdMisses:    r.Counter("aggcache_cold_misses_total", "Lookups that missed both tiers."),
+		Promotes:      r.Counter("aggcache_tier_promotes_total", "Chunks decompressed back into the hot tier."),
+		Demotes:       r.Counter("aggcache_tier_demotes_total", "Hot-tier victims re-admitted to the cold tier compressed."),
+		DemoteDenied:  r.Counter("aggcache_tier_demote_denied_total", "Hot-tier victims the cold tier refused."),
+		ColdEvictions: r.Counter("aggcache_cold_evictions_total", "Cold residents dropped for cold-tier space."),
+	}
+}
+
 // StrategyMetrics instruments a lookup strategy through strategy.Instrument.
 // All series carry a strategy=… label so several strategies can share a
 // registry.

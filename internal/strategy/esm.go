@@ -83,10 +83,14 @@ func (s *ESM) OnInsert(e *cache.Entry) {
 	s.mu.Unlock()
 }
 
-// OnEvict implements cache.Listener.
-func (s *ESM) OnEvict(e *cache.Entry) {
+// OnEvent implements cache.Listener. Tier moves (Demoted, Promoted) leave
+// the chunk answerable through the store, so presence is untouched.
+func (s *ESM) OnEvent(ev cache.Event) {
+	if ev.Answerable() {
+		return
+	}
 	s.mu.Lock()
-	s.present.clear(e.Key.GB, int(e.Key.Num))
+	s.present.clear(ev.Key.GB, int(ev.Key.Num))
 	s.mu.Unlock()
 }
 
@@ -173,10 +177,14 @@ func (s *ESMC) OnInsert(e *cache.Entry) {
 	s.mu.Unlock()
 }
 
-// OnEvict implements cache.Listener.
-func (s *ESMC) OnEvict(e *cache.Entry) {
+// OnEvent implements cache.Listener. Tier moves (Demoted, Promoted) leave
+// the chunk answerable through the store, so presence is untouched.
+func (s *ESMC) OnEvent(ev cache.Event) {
+	if ev.Answerable() {
+		return
+	}
 	s.mu.Lock()
-	s.present.clear(e.Key.GB, int(e.Key.Num))
+	s.present.clear(ev.Key.GB, int(ev.Key.Num))
 	s.mu.Unlock()
 }
 
@@ -221,10 +229,14 @@ func (s *NoAgg) OnInsert(e *cache.Entry) {
 	s.mu.Unlock()
 }
 
-// OnEvict implements cache.Listener.
-func (s *NoAgg) OnEvict(e *cache.Entry) {
+// OnEvent implements cache.Listener. Tier moves (Demoted, Promoted) leave
+// the chunk answerable through the store, so presence is untouched.
+func (s *NoAgg) OnEvent(ev cache.Event) {
+	if ev.Answerable() {
+		return
+	}
 	s.mu.Lock()
-	s.present.clear(e.Key.GB, int(e.Key.Num))
+	s.present.clear(ev.Key.GB, int(ev.Key.Num))
 	s.mu.Unlock()
 }
 

@@ -69,7 +69,7 @@ func (p *Plan) Nodes() int {
 }
 
 // Maint reports cumulative maintenance work a strategy has performed in its
-// OnInsert/OnEvict handlers: state updates applied and wall time spent.
+// OnInsert/OnEvent handlers: state updates applied and wall time spent.
 // Callers snapshot and diff it to attribute per-query update cost
 // (Figure 10's "update" component, Table 2).
 type Maint struct {
@@ -108,7 +108,7 @@ func timeMaint(m *maintCounters, fn func()) {
 
 // Strategy is a cache lookup strategy. Implementations synchronize
 // internally: concurrent Finds share a read lock over the summary state,
-// while OnInsert/OnEvict (which the cache store invokes from its Listener
+// while OnInsert/OnEvent (which the cache store invokes from its Listener
 // hooks, possibly from several shards at once) take the write lock. Every
 // method may be called from any goroutine. A plan returned by Find reflects
 // residence at lookup time; the engine re-validates it by pinning the leaves
@@ -120,10 +120,12 @@ type Strategy interface {
 	// returns an executable plan. It returns ErrBudget when a node budget
 	// was exhausted before an answer was established.
 	Find(gb lattice.ID, num int) (*Plan, bool, error)
-	// OnInsert and OnEvict implement cache.Listener to maintain summary
-	// state.
+	// OnInsert and OnEvent implement cache.Listener to maintain summary
+	// state. OnEvent distinguishes tier moves (Demoted, Promoted — the chunk
+	// stays answerable, summary state must not change) from true departures
+	// (Evicted, Removed).
 	OnInsert(e *cache.Entry)
-	OnEvict(e *cache.Entry)
+	OnEvent(ev cache.Event)
 	// Overhead returns the strategy's summary-state space in bytes using the
 	// paper's accounting (Table 3: 1 byte per count, 4 per cost, 1 per best
 	// parent).

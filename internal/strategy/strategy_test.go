@@ -42,6 +42,13 @@ func entry(gb lattice.ID, num int) *cache.Entry {
 	return &cache.Entry{Key: cache.Key{GB: gb, Num: int32(num)}}
 }
 
+// evicted wraps entry in a true-departure event, the shape stores deliver
+// when a chunk leaves every tier.
+func evicted(gb lattice.ID, num int) cache.Event {
+	e := entry(gb, num)
+	return cache.Event{Key: e.Key, Reason: cache.Evicted, Entry: e}
+}
+
 // oracle answers computability and least cost by exhaustive memoized search
 // over the present set — the ground truth for Property 1 and for VCMC/ESMC
 // costs.
@@ -189,7 +196,7 @@ func TestPropertyOneAndCosts(t *testing.T) {
 			delete(resident, k)
 			o.evict(gb, num)
 			for _, s := range strategies {
-				s.OnEvict(entry(gb, num))
+				s.OnEvent(evicted(gb, num))
 			}
 		} else if !resident[k] {
 			resident[k] = true
@@ -302,7 +309,7 @@ func TestVCMExample4(t *testing.T) {
 		t.Fatalf("count (0,0)#0 = %d, want 3", got)
 	}
 	// Evicting one base chunk breaks both aggregate paths again.
-	vcm.OnEvict(entry(g11, 0))
+	vcm.OnEvent(evicted(g11, 0))
 	if got := vcm.Count(g00, 0); got != 1 {
 		t.Fatalf("after evict, count (0,0)#0 = %d, want 1 (present only)", got)
 	}
@@ -331,7 +338,7 @@ func TestVCMEvictAllReturnsToZero(t *testing.T) {
 		}
 		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
 		for _, k := range keys {
-			vcm.OnEvict(entry(k.GB, int(k.Num)))
+			vcm.OnEvent(evicted(k.GB, int(k.Num)))
 		}
 		for id := lattice.ID(0); int(id) < lat.NumNodes(); id++ {
 			for n := 0; n < g.NumChunks(id); n++ {
@@ -449,7 +456,7 @@ func TestNoAgg(t *testing.T) {
 	if _, found, _ := s.Find(lat.Top(), 0); found {
 		t.Fatalf("NoAgg must not aggregate")
 	}
-	s.OnEvict(entry(base, 0))
+	s.OnEvent(evicted(base, 0))
 	if _, found, _ := s.Find(base, 0); found {
 		t.Fatalf("evicted chunk still found")
 	}

@@ -171,9 +171,16 @@ func (s *VCM) inc(gb lattice.ID, num int) {
 	}
 }
 
-// OnEvict implements cache.Listener: the eviction dual of insert (the paper
-// notes it is "similar in implementation and complexity").
-func (s *VCM) OnEvict(e *cache.Entry) {
+// OnEvent implements cache.Listener: the eviction dual of insert (the paper
+// notes it is "similar in implementation and complexity"). A demotion or
+// promotion is a tier move — the chunk still answers through the store, so
+// presence and counts are untouched; the count teardown runs only when the
+// chunk truly leaves (Evicted, Removed).
+func (s *VCM) OnEvent(ev cache.Event) {
+	if ev.Answerable() {
+		return
+	}
+	e := ev.Entry
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	timeMaint(&s.maint, func() {

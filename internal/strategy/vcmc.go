@@ -210,10 +210,16 @@ func (s *VCMC) OnInsert(e *cache.Entry) {
 	})
 }
 
-// OnEvict implements cache.Listener: the eviction dual. A recycled entry
+// OnEvent implements cache.Listener: the eviction dual. A recycled entry
 // never touched the cost lattice, so clearing its presence bits is the
-// entire dual.
-func (s *VCMC) OnEvict(e *cache.Entry) {
+// entire dual. Tier moves (Demoted, Promoted) leave the chunk answerable
+// through the store, so they are ignored here; the dual runs only when the
+// chunk truly leaves (Evicted, Removed).
+func (s *VCMC) OnEvent(ev cache.Event) {
+	if ev.Answerable() {
+		return
+	}
+	e := ev.Entry
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	timeMaint(&s.maint, func() {
